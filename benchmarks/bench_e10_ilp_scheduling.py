@@ -1,0 +1,111 @@
+"""E10 — Static instruction scheduling (ILP) vs. multithreading (TLP).
+
+Paper Section 5: "The compiler or programmer could schedule the
+instructions in order to diminish the number of stall cycles, but the
+exact latency of reduction instructions depends on the number of PEs,
+which is generally not known at compile time.  Furthermore, for a large
+machine, the latency could be much higher than the degree of
+instruction-level parallelism (ILP) in the code. ... Multithreading
+exploits thread-level parallelism (TLP), which scales much better than
+ILP."
+
+We built that compiler pass (:mod:`repro.opt`) and measure it: a
+reduction kernel with 8 independent accumulator chains (generous ILP),
+scheduled for each target machine, against 16-thread fine-grain MT.
+"""
+
+from repro.asm import assemble
+from repro.bench import Experiment
+from repro.core import MTMode, Processor, ProcessorConfig
+from repro.opt import schedule_program
+from repro.programs import reduction_storm, run_kernel
+
+CHAINS = 8
+ITERS = 8
+
+
+def ilp_kernel_source() -> str:
+    """Loop with CHAINS independent reduction-consume chains."""
+    init = "\n".join(f"    pli p{c + 1}, {2 * c + 3}"
+                     for c in range(CHAINS))
+    body = "\n".join(
+        f"""    paddi p{c + 1}, p{c + 1}, 1
+    rmaxu s{2 + c % 7}, p{c + 1}
+    add   s9, s9, s{2 + c % 7}""" for c in range(CHAINS))
+    return f"""
+.text
+main:
+    li s1, {ITERS}
+{init}
+loop:
+{body}
+    addi  s1, s1, -1
+    bne   s1, s0, loop
+    halt
+"""
+
+
+def run_single(pes, scheduled):
+    cfg = ProcessorConfig(num_pes=pes, num_threads=1, word_width=16,
+                          mt_mode=MTMode.SINGLE)
+    prog = assemble(ilp_kernel_source(), 16)
+    if scheduled:
+        prog = schedule_program(prog, cfg)
+    proc = Processor(cfg)
+    return proc.run(prog)
+
+
+def run_mt(pes):
+    kernel = reduction_storm(pes, total_iters=CHAINS * ITERS, threads=16)
+    cfg = ProcessorConfig(num_pes=pes, num_threads=16, word_width=16)
+    return run_kernel(kernel, cfg).result
+
+
+def test_ilp_scheduling_vs_multithreading(once):
+    pe_counts = (16, 256, 4096)
+
+    def run_all():
+        return {p: (run_single(p, False), run_single(p, True), run_mt(p))
+                for p in pe_counts}
+
+    data = once(run_all)
+
+    exp = Experiment("E10", f"static scheduling vs MT "
+                            f"({CHAINS} independent chains x {ITERS} "
+                            f"iterations)")
+    t = exp.new_table(("PEs", "b+r", "naive 1T IPC", "scheduled 1T IPC",
+                       "16-thread IPC", "sched speedup", "MT speedup"))
+    sched_ipc = {}
+    mt_ipc = {}
+    for p in pe_counts:
+        base, sched, mt = data[p]
+        cfg = ProcessorConfig(num_pes=p)
+        sched_ipc[p] = sched.stats.ipc
+        mt_ipc[p] = mt.stats.ipc
+        t.add_row(p, cfg.broadcast_depth + cfg.reduction_depth,
+                  round(base.stats.ipc, 3), round(sched.stats.ipc, 3),
+                  round(mt.stats.ipc, 3),
+                  f"{base.stats.cycles / sched.stats.cycles:.2f}x",
+                  f"{base.stats.cycles / mt.stats.cycles:.2f}x")
+
+    # Semantics check: scheduling must not change results.
+    for p in pe_counts:
+        base, sched, _ = data[p]
+        assert base.scalar(9) == sched.scalar(9)
+
+    exp.finding("the compiler pass hides most of the hazard while b+r "
+                "fits inside the code's ILP, then falls behind as the "
+                "machine grows; MT stays flat — the quantified form of "
+                "Section 5's 'TLP scales much better than ILP'")
+    exp.report()
+
+    # Scheduling always helps on this code...
+    for p in pe_counts:
+        base, sched, _ = data[p]
+        assert sched.stats.cycles < base.stats.cycles
+    # ...but its achieved IPC decays with machine size, while MT's holds.
+    ipcs = [sched_ipc[p] for p in pe_counts]
+    assert all(a >= b for a, b in zip(ipcs, ipcs[1:]))
+    assert min(mt_ipc.values()) > 0.9
+    # At the largest machine, MT clearly beats the best static schedule.
+    assert mt_ipc[4096] > sched_ipc[4096] + 0.15

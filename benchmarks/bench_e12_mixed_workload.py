@@ -1,0 +1,99 @@
+"""E12 — Heterogeneous multithreaded workloads.
+
+"Future plans also include implementing software for the architecture in
+order to better show the performance advantages of multithreading and to
+explore possible application areas" (Section 9).  Beyond homogeneous
+stall-hiding (E1/E2), hardware threads let *unlike* jobs share the
+machine: a reduction-heavy query, a multiply-heavy numeric loop, and a
+branchy scalar control job each leave different pipeline resources idle;
+co-scheduling them fills each job's gaps with the others' work.
+
+Measured: total cycles to run the three jobs (a) back-to-back on one
+thread vs. (b) co-scheduled on three hardware threads.
+"""
+
+from repro.bench import Experiment
+from repro.core import MTMode, ProcessorConfig, run_program
+
+REDUCTION_JOB = """
+    li s5, {n}
+r{tag}:
+    paddi p1, p1, 1
+    rmaxu s6, p1
+    add   s7, s7, s6
+    addi  s5, s5, -1
+    bne   s5, s0, r{tag}
+"""
+
+MULTIPLY_JOB = """
+    li s5, {n}
+    li s8, 3
+m{tag}:
+    pmuls p2, p2, s8
+    paddi p2, p2, 1
+    addi  s5, s5, -1
+    bne   s5, s0, m{tag}
+"""
+
+SCALAR_JOB = """
+    li s5, {n}
+s{tag}:
+    andi s9, s5, 3
+    beq  s9, s0, sk{tag}
+    addi s10, s10, 1
+sk{tag}:
+    addi s5, s5, -1
+    bne  s5, s0, s{tag}
+"""
+
+N = 40
+
+
+def serial_program() -> str:
+    body = (REDUCTION_JOB.format(n=N, tag="a")
+            + MULTIPLY_JOB.format(n=N, tag="a")
+            + SCALAR_JOB.format(n=N, tag="a"))
+    return ".text\nmain:\n" + body + "    halt\n"
+
+
+def threaded_program() -> str:
+    return (".text\nmain:\n"
+            "    tspawn s1, job2\n"
+            "    tspawn s1, job3\n"
+            + REDUCTION_JOB.format(n=N, tag="a")
+            + "    texit\n"
+            "job2:\n" + MULTIPLY_JOB.format(n=N, tag="b") + "    texit\n"
+            "job3:\n" + SCALAR_JOB.format(n=N, tag="c") + "    texit\n")
+
+
+def test_mixed_workload(once):
+    def run_all():
+        single = ProcessorConfig(num_pes=256, num_threads=1,
+                                 word_width=16, mt_mode=MTMode.SINGLE)
+        multi = ProcessorConfig(num_pes=256, num_threads=4, word_width=16)
+        return (run_program(serial_program(), single),
+                run_program(threaded_program(), multi))
+
+    serial, threaded = once(run_all)
+
+    exp = Experiment("E12", "heterogeneous jobs: serial vs co-scheduled "
+                            "(p=256)")
+    t = exp.new_table(("schedule", "cycles", "IPC", "instructions"))
+    t.add_row("one thread, back-to-back", serial.cycles,
+              round(serial.stats.ipc, 3), serial.stats.instructions)
+    t.add_row("three hardware threads", threaded.cycles,
+              round(threaded.stats.ipc, 3), threaded.stats.instructions)
+
+    speedup = serial.cycles / threaded.cycles
+    exp.finding(f"co-scheduling three unlike jobs is {speedup:.2f}x "
+                f"faster: the reduction job's b+r stalls absorb the "
+                f"multiply and branchy jobs' instructions (the residual "
+                f"gap is the tail where the long reduction job runs "
+                f"alone)")
+    exp.report()
+
+    # Same total work (modulo spawn/exit overhead), far fewer cycles.
+    assert abs(threaded.stats.instructions
+               - serial.stats.instructions) <= 8
+    assert speedup > 1.5
+    assert threaded.stats.ipc > serial.stats.ipc * 1.4

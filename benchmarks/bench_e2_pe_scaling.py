@@ -1,0 +1,66 @@
+"""E2 — Scaling with PE count: single-thread performance degrades as the
+machine grows; multithreading keeps it flat (paper Sections 1, 5).
+
+"the exact latency of reduction instructions depends on the number of
+PEs ... for a large machine, the latency could be much higher than the
+degree of instruction-level parallelism in the code."
+"""
+
+from repro.bench import Experiment
+from repro.core import MTMode, ProcessorConfig
+from repro.programs import reduction_storm, run_kernel
+
+PES = (4, 16, 64, 256, 1024, 4096)
+TOTAL_ITERS = 64
+
+
+def run_at(pes, threads):
+    kernel = reduction_storm(pes, total_iters=TOTAL_ITERS, threads=threads)
+    if threads == 1:
+        cfg = ProcessorConfig(num_pes=pes, num_threads=1, word_width=16,
+                              mt_mode=MTMode.SINGLE)
+    else:
+        cfg = ProcessorConfig(num_pes=pes, num_threads=threads,
+                              word_width=16, mt_mode=MTMode.FINE)
+    return run_kernel(kernel, cfg)
+
+
+def test_pe_scaling(once):
+    data = once(lambda: {p: (run_at(p, 1), run_at(p, 16)) for p in PES})
+
+    exp = Experiment("E2", "cycles and IPC vs PE count "
+                           f"({TOTAL_ITERS} reduction iterations)")
+    t = exp.new_table(("PEs", "b+r", "1T cycles", "1T IPC",
+                       "16T cycles", "16T IPC", "MT speedup"))
+    single_ipcs, mt_ipcs = [], []
+    for p in PES:
+        one, mt = data[p]
+        cfg = ProcessorConfig(num_pes=p)
+        hazard = cfg.broadcast_depth + cfg.reduction_depth
+        t.add_row(p, hazard, one.cycles, round(one.result.stats.ipc, 3),
+                  mt.cycles, round(mt.result.stats.ipc, 3),
+                  round(one.cycles / mt.cycles, 2))
+        single_ipcs.append(one.result.stats.ipc)
+        mt_ipcs.append(mt.result.stats.ipc)
+
+    exp.finding("single-thread IPC decays roughly as 1/(1 + (b+r) per "
+                "loop-trip); 16-thread IPC stays near 1 across three "
+                "orders of magnitude of PEs")
+    from repro.bench import bar_chart
+
+    exp.finding("IPC vs machine size (top: 1 thread, bottom: 16):\n"
+                + bar_chart([f"p={p}" for p in PES], single_ipcs,
+                            fmt="{:.2f}") + "\n"
+                + bar_chart([f"p={p}" for p in PES], mt_ipcs,
+                            fmt="{:.2f}"))
+    exp.report()
+
+    # Shape: single-thread IPC strictly degrades with machine size...
+    assert all(a >= b for a, b in zip(single_ipcs, single_ipcs[1:]))
+    assert single_ipcs[-1] < 0.25
+    # ...while the multithreaded machine stays near full utilization.
+    assert min(mt_ipcs) > 0.8
+    # The MT advantage grows with machine size (the paper's thesis).
+    speedups = [one.cycles / mt.cycles for one, mt in data.values()]
+    assert speedups[-1] > speedups[0]
+    assert speedups[-1] > 3.0

@@ -1,0 +1,61 @@
+"""E4 — Broadcast-tree arity: "The arity (k) of the tree used in the
+broadcast network is variable and is chosen so as to maximize system
+performance." (Section 6.4.)
+
+Higher arity means fewer broadcast stages (shorter b, smaller reduction
+hazards) but more fanout per node.  We sweep k for single-threaded and
+multithreaded machines: arity matters a lot without MT and hardly at all
+with it — multithreading makes the design robust to this parameter.
+"""
+
+from repro.bench import Experiment
+from repro.core import MTMode, ProcessorConfig
+from repro.programs import reduction_storm, run_kernel
+
+PES = 256
+ARITIES = (2, 4, 8, 16)
+
+
+def run_with_arity(k, threads):
+    kernel = reduction_storm(PES, total_iters=48, threads=threads)
+    if threads == 1:
+        cfg = ProcessorConfig(num_pes=PES, num_threads=1, word_width=16,
+                              mt_mode=MTMode.SINGLE, broadcast_arity=k)
+    else:
+        cfg = ProcessorConfig(num_pes=PES, num_threads=threads,
+                              word_width=16, broadcast_arity=k)
+    return run_kernel(kernel, cfg), cfg
+
+
+def test_arity_sweep(once):
+    data = once(lambda: {(k, t): run_with_arity(k, t)
+                         for k in ARITIES for t in (1, 8)})
+
+    exp = Experiment("E4", f"broadcast arity sweep at p={PES}")
+    t = exp.new_table(("arity", "b", "1T cycles", "8T cycles",
+                       "1T benefit", "8T benefit"))
+    base1 = data[(2, 1)][0].cycles
+    base8 = data[(2, 8)][0].cycles
+    cycles1, cycles8 = {}, {}
+    for k in ARITIES:
+        run1, cfg = data[(k, 1)]
+        run8, _ = data[(k, 8)]
+        cycles1[k], cycles8[k] = run1.cycles, run8.cycles
+        t.add_row(k, cfg.broadcast_depth, run1.cycles, run8.cycles,
+                  f"{base1 / run1.cycles:.2f}x",
+                  f"{base8 / run8.cycles:.2f}x")
+
+    gain1 = cycles1[2] / cycles1[16]
+    gain8 = cycles8[2] / cycles8[16]
+    exp.finding(f"without MT, arity 16 is {gain1:.2f}x faster than arity 2 "
+                f"(shorter hazards); with 8 threads the gain shrinks to "
+                f"{gain8:.2f}x — MT hides what arity would shorten")
+    exp.report()
+
+    # Shape: single-thread cycles fall monotonically with arity...
+    vals = [cycles1[k] for k in ARITIES]
+    assert all(a >= b for a, b in zip(vals, vals[1:]))
+    assert gain1 > 1.2
+    # ...and multithreading flattens the arity sensitivity.
+    assert gain8 < gain1
+    assert gain8 < 1.15

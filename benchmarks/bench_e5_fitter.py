@@ -1,0 +1,85 @@
+"""E5 — Device capacity: "The main factor that limits the number of PEs
+is the availability of RAM blocks" (Section 7) and Section 9's plan to
+"explore alternative PE organizations that require fewer RAM blocks and
+take advantage of unused logic resources".
+
+Fits the machine onto every device in the catalog, then sweeps PE memory
+organizations and local-memory/thread budgets on the EP2C35.
+"""
+
+from dataclasses import replace
+
+from repro.bench import Experiment
+from repro.core import ProcessorConfig
+from repro.fpga import (
+    ALL_DEVICES,
+    EP2C35,
+    PEOrganization,
+    max_pes,
+)
+
+
+def test_device_catalog_fits(once):
+    cfg = ProcessorConfig()
+    fits = once(lambda: {dev.name: max_pes(dev, cfg)
+                         for dev in ALL_DEVICES})
+
+    exp = Experiment("E5", "max PEs per device (prototype PE organization)")
+    t = exp.new_table(("device", "LEs", "RAM blocks", "max PEs",
+                       "limited by", "LE util", "RAM util"))
+    for dev in ALL_DEVICES:
+        fit = fits[dev.name]
+        t.add_row(dev.name, dev.logic_elements, dev.ram_blocks,
+                  fit.max_pes, fit.limiting_resource,
+                  f"{fit.logic_utilization:.0%}",
+                  f"{fit.ram_utilization:.0%}")
+    exp.compare("EP2C35 max PEs", 16, fits["EP2C35"].max_pes,
+                rel_tolerance=0.0)
+    exp.finding("on the prototype's device the fit is RAM-bound at "
+                "exactly the paper's 16 PEs with most logic unused")
+    exp.report()
+
+    assert fits["EP2C35"].max_pes == 16
+    assert fits["EP2C35"].limiting_resource == "ram"
+    assert fits["EP2C70"].max_pes > fits["EP2C35"].max_pes
+
+
+def test_alternative_pe_organizations(once):
+    """Section 9's future work, quantified."""
+    cfg = ProcessorConfig()
+    orgs = {
+        "prototype (2x GPR, 2x flags, no sharing)": PEOrganization(),
+        "share flag RAM across 4 PEs": PEOrganization(flag_share_pes=4),
+        "single-copy GPR (double-pumped)": PEOrganization(gpr_copies=1),
+        "both": PEOrganization(gpr_copies=1, flag_share_pes=4),
+        "both + 512B local memory": None,   # handled below
+    }
+
+    def sweep():
+        out = {}
+        for name, org in orgs.items():
+            if org is None:
+                fit = max_pes(EP2C35, replace(cfg, lmem_words=512),
+                              org=PEOrganization(gpr_copies=1,
+                                                 flag_share_pes=4))
+            else:
+                fit = max_pes(EP2C35, cfg, org=org)
+            out[name] = fit
+        return out
+
+    fits = once(sweep)
+
+    exp = Experiment("E5b", "alternative PE organizations on EP2C35")
+    t = exp.new_table(("organization", "max PEs", "limited by", "LE util"))
+    for name, fit in fits.items():
+        t.add_row(name, fit.max_pes, fit.limiting_resource,
+                  f"{fit.logic_utilization:.0%}")
+    best = max(fits.values(), key=lambda f: f.max_pes)
+    exp.finding(f"leaner memory organizations reach {best.max_pes} PEs on "
+                f"the same chip — the 'next version will be larger' "
+                f"direction of Sections 8-9")
+    exp.report()
+
+    proto = fits["prototype (2x GPR, 2x flags, no sharing)"].max_pes
+    assert all(fit.max_pes >= proto for fit in fits.values())
+    assert best.max_pes >= 2 * proto

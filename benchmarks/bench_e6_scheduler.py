@@ -1,0 +1,67 @@
+"""E6 — Scheduler fairness: "A rotating priority selection policy is
+employed to ensure fairness between threads." (Section 6.3.)
+
+Measures per-thread issue shares under rotating vs. fixed priority for a
+contended multithreaded workload, using Jain's fairness index.
+"""
+
+from repro.bench import Experiment
+from repro.core import ProcessorConfig, SchedulerPolicy, run_program
+
+WORKER_PROGRAM = """
+.text
+main:
+    li s2, 7
+    li s3, 0
+spawn:
+    beq s3, s2, work
+    tspawn s4, worker
+    addi s3, s3, 1
+    j spawn
+worker:
+    nop
+work:
+    li s5, 60
+    pbcast p1, s5
+loop:
+    paddi p1, p1, 1
+    rmax  s6, p1
+    add   s7, s7, s6
+    addi  s5, s5, -1
+    bne   s5, s0, loop
+    texit
+"""
+
+
+def run_policy(policy):
+    cfg = ProcessorConfig(num_pes=64, num_threads=8, word_width=16,
+                          scheduler=policy)
+    return run_program(WORKER_PROGRAM, cfg)
+
+
+def test_scheduler_fairness(once):
+    results = once(lambda: {p: run_policy(p) for p in SchedulerPolicy})
+
+    exp = Experiment("E6", "rotating vs fixed priority (8 threads)")
+    t = exp.new_table(("policy", "cycles", "IPC", "fairness (Jain)",
+                       "min/max thread issues"))
+    for policy, res in results.items():
+        issued = res.stats.per_thread_issued
+        t.add_row(policy.value, res.cycles, round(res.stats.ipc, 3),
+                  round(res.stats.fairness(), 4),
+                  f"{min(issued.values())}/{max(issued.values())}")
+
+    rot = results[SchedulerPolicy.ROTATING]
+    fix = results[SchedulerPolicy.FIXED]
+    exp.finding(f"rotating priority: fairness "
+                f"{rot.stats.fairness():.4f}; both policies complete the "
+                f"same work ({rot.stats.instructions} instructions)")
+    exp.report()
+
+    # Rotating priority is near-perfectly fair and at least as fair as
+    # fixed priority; total work is identical.
+    assert rot.stats.fairness() > 0.97
+    assert rot.stats.fairness() >= fix.stats.fairness() - 1e-9
+    assert rot.stats.instructions == fix.stats.instructions
+    # All eight threads got issue slots under rotation.
+    assert len(rot.stats.per_thread_issued) == 8

@@ -1,0 +1,52 @@
+"""F1 — Regenerate Figure 1: split pipeline organization.
+
+Figure 1 shows one front end (IF, ID, SR) splitting after SR into a
+scalar path (EX, MA, WB) and a parallel path (B1..Bb); the parallel path
+splits again after PR into parallel execute (EX, WB) and the reduction
+stages (R1..Rr, WB).  We regenerate the stage paths from the live timing
+model and assert the structure.
+"""
+
+from repro.bench import Experiment
+from repro.core import ProcessorConfig, pipeline_paths
+
+
+def test_pipeline_organization(once):
+    # Figure 1 draws b = 2 broadcast and r = 4 reduction stages; b = 2
+    # and r = 2 at 4 PEs (r tracks p, the figure's r is illustrative).
+    cfg = ProcessorConfig(num_pes=4)
+    paths = once(pipeline_paths, cfg)
+
+    exp = Experiment("F1", "Figure 1 — pipeline organization")
+    t = exp.new_table(("instruction class", "stage path"))
+    for name, stages in paths.items():
+        t.add_row(name, " -> ".join(stages))
+    exp.report()
+
+    # One shared front end.
+    assert all(p[:3] == ["IF", "ID", "SR"] for p in paths.values())
+    # Scalar path: lower branch of the split.
+    assert paths["scalar"][3:] == ["EX", "MA", "WB"]
+    # Parallel path: upper branch through the broadcast stages and PR.
+    assert paths["parallel"][3:] == ["B1", "B2", "PR", "EX", "WB"]
+    # Reduction path: splits again after PR into R stages.
+    assert paths["reduction"][3:6] == ["B1", "B2", "PR"]
+    assert all(s.startswith("R") for s in paths["reduction"][6:-1])
+    assert paths["reduction"][-1] == "WB"
+
+
+def test_stage_counts_scale_with_pes(once):
+    """'The number of broadcast and reduction stages is variable,
+    depending on the number of PEs.' (Section 4.1.)"""
+    exp = Experiment("F1b", "broadcast/reduction stage counts vs PEs")
+    t = exp.new_table(("PEs", "b (k=2)", "r"))
+    rows = once(lambda: [(p, ProcessorConfig(num_pes=p).broadcast_depth,
+                          ProcessorConfig(num_pes=p).reduction_depth)
+                         for p in (4, 16, 64, 256, 1024)])
+    prev_b = prev_r = 0
+    for p, b, r in rows:
+        t.add_row(p, b, r)
+        assert b >= prev_b and r >= prev_r
+        prev_b, prev_r = b, r
+    exp.report()
+    assert rows[-1][1] == 10 and rows[-1][2] == 10

@@ -1,0 +1,110 @@
+"""F2 — Regenerate Figure 2: the three pipeline hazard examples.
+
+The figure's three two-instruction sequences, reproduced as stage
+charts with measured stall counts:
+
+* broadcast hazard   — ``sub`` then ``padd`` using its result: **no
+  stall** (EX -> B1 forwarding);
+* reduction hazard   — ``rmax`` then ``sub`` using its result: stalls
+  ``b + r`` cycles, shown as repeated ID stages;
+* broadcast-reduction hazard — ``rmax`` then ``padds`` using its
+  result: stalls ``b + r`` cycles.
+"""
+
+from repro.bench import Experiment
+from repro.core import (
+    MTMode,
+    ProcessorConfig,
+    hazard_distance,
+    render_trace,
+    run_program,
+)
+
+
+def fig2_cfg():
+    # Figure 2 assumes two broadcast stages; 4 PEs at arity 2 gives b=2.
+    return ProcessorConfig(num_pes=4, num_threads=1, mt_mode=MTMode.SINGLE)
+
+
+CASES = {
+    "broadcast": """
+.text
+    li    s1, 3
+    li    s2, 1
+    sub   s3, s1, s2
+    padds p1, p1, s3
+    halt
+""",
+    "reduction": """
+.text
+    li    s1, 3
+    rmax  s2, p1
+    sub   s3, s2, s1
+    halt
+""",
+    "broadcast-reduction": """
+.text
+    rmax  s2, p1
+    padds p1, p1, s2
+    halt
+""",
+}
+
+# (producer pc, consumer expected stall as function of b, r)
+EXPECTED = {
+    "broadcast": (2, lambda b, r: 0),
+    "reduction": (1, lambda b, r: b + r),
+    "broadcast-reduction": (0, lambda b, r: b + r),
+}
+
+
+def test_figure2_hazard_traces(once):
+    cfg = fig2_cfg()
+    b, r = cfg.broadcast_depth, cfg.reduction_depth
+
+    def run_all():
+        return {name: run_program(src, fig2_cfg(), trace=True)
+                for name, src in CASES.items()}
+
+    results = once(run_all)
+
+    exp = Experiment("F2", "Figure 2 — pipeline hazards "
+                           f"(b={b}, r={r})")
+    t = exp.new_table(("hazard", "producer", "consumer", "stall cycles",
+                       "expected"))
+    for name, res in results.items():
+        gaps = hazard_distance(res.trace)
+        pc, expect_fn = EXPECTED[name]
+        stall = gaps[(0, pc)] - 1
+        expected = expect_fn(b, r)
+        t.add_row(name, res.trace[[rec.pc for rec in res.trace].index(pc)]
+                  .instr.mnemonic,
+                  "next instr", stall, expected)
+        exp.compare(f"{name} stall", expected, stall, rel_tolerance=0.0)
+        exp.findings.append(
+            f"{name}:\n" + render_trace(res.trace, cfg))
+    exp.report()
+    assert exp.all_ok
+
+
+def test_reduction_stall_tracks_machine_size(once):
+    """The stall is b + r at every PE count — the scaling problem
+    motivating multithreading (Section 5)."""
+    def measure(p):
+        cfg = ProcessorConfig(num_pes=p, num_threads=1,
+                              mt_mode=MTMode.SINGLE)
+        res = run_program(CASES["reduction"], cfg, trace=True)
+        return hazard_distance(res.trace)[(0, 1)] - 1
+
+    exp = Experiment("F2b", "reduction-hazard stall vs machine size")
+    t = exp.new_table(("PEs", "b", "r", "measured stall", "b + r"))
+    rows = once(lambda: [(p, measure(p)) for p in (4, 16, 64, 256, 1024)])
+    for p, stall in rows:
+        cfg = ProcessorConfig(num_pes=p)
+        t.add_row(p, cfg.broadcast_depth, cfg.reduction_depth, stall,
+                  cfg.broadcast_depth + cfg.reduction_depth)
+        assert stall == cfg.broadcast_depth + cfg.reduction_depth
+    exp.finding("the stall grows as 2*ceil(log2 p): 'for a large machine, "
+                "the latency could be much higher than the degree of ILP "
+                "in the code' (Section 5)")
+    exp.report()

@@ -1,0 +1,46 @@
+"""F3 — Regenerate Figure 3: control-unit organization.
+
+The figure is a block diagram: fetch unit + per-thread instruction
+buffers feeding per-thread decode units through the thread status table,
+a shared scheduler with the instruction status table, and the scalar
+datapath.  We regenerate the component inventory (with replication
+factors) and connectivity from the constructed machine.
+"""
+
+from repro.bench import Experiment
+from repro.core import (
+    CONTROL_UNIT_EDGES,
+    ProcessorConfig,
+    control_unit_components,
+    render_control_unit,
+)
+
+
+def test_control_unit_organization(once):
+    cfg = ProcessorConfig()   # 16 hardware threads, rotating priority
+    comps = once(control_unit_components, cfg)
+
+    exp = Experiment("F3", "Figure 3 — control unit organization")
+    t = exp.new_table(("component", "replication", "role"))
+    for comp in comps:
+        repl = "shared" if comp.shared else f"per-thread x{comp.count}"
+        t.add_row(comp.name, repl, comp.description[:58])
+    c = exp.new_table(("from", "to"), title="connectivity (Figure 3 arrows)")
+    for src, dst in CONTROL_UNIT_EDGES:
+        c.add_row(src, dst)
+    exp.report()
+
+    by_name = {comp.name: comp for comp in comps}
+    # Per Section 6.3: decode is replicated per thread...
+    assert by_name["decode unit"].count == cfg.num_threads
+    assert not by_name["decode unit"].shared
+    # ...while fetch, scheduler, status tables and datapath are shared.
+    for shared in ("fetch unit", "scheduler", "thread status table",
+                   "instruction status table", "scalar datapath"):
+        assert by_name[shared].shared, shared
+    # The scheduler issues to both the scalar datapath and the PE array.
+    assert ("scheduler", "scalar datapath") in CONTROL_UNIT_EDGES
+    assert ("scheduler", "broadcast network") in CONTROL_UNIT_EDGES
+
+    rendered = render_control_unit(cfg)
+    assert "rotating" in rendered

@@ -1,0 +1,52 @@
+"""H1 — Host-side simulator throughput (not a paper experiment).
+
+Measures the Python simulator's own speed — simulated cycles and issued
+instructions per host second — at several machine sizes, using real
+pytest-benchmark timing rounds.  This is the practicality check for the
+reproduction substrate: the vectorized PE array means simulation cost
+grows with *issued instructions*, not with PEs, so kilocycle runs on
+4096-PE machines stay interactive.
+"""
+
+import pytest
+
+from repro.bench import Experiment
+from repro.core import MTMode, ProcessorConfig, Processor
+from repro.asm import assemble
+from repro.programs import reduction_storm
+
+SOURCE_CACHE: dict[int, object] = {}
+
+
+def make_ready(pes):
+    kernel = reduction_storm(pes, total_iters=128, threads=8)
+    cfg = ProcessorConfig(num_pes=pes, num_threads=8, word_width=16)
+    program = assemble(kernel.source, word_width=16)
+    return cfg, program
+
+
+@pytest.mark.parametrize("pes", [16, 256, 4096])
+def test_simulation_throughput(benchmark, pes):
+    cfg, program = make_ready(pes)
+
+    def run_once():
+        proc = Processor(cfg)
+        return proc.run(program)
+
+    result = benchmark(run_once)
+
+    exp = Experiment("H1", f"host throughput at p={pes}")
+    mean_s = benchmark.stats.stats.mean
+    t = exp.new_table(("metric", "value"))
+    t.add_row("simulated cycles / run", result.stats.cycles)
+    t.add_row("instructions / run", result.stats.instructions)
+    t.add_row("host seconds / run", round(mean_s, 4))
+    t.add_row("sim cycles per host second",
+              int(result.stats.cycles / mean_s))
+    t.add_row("instructions per host second",
+              int(result.stats.instructions / mean_s))
+    exp.report()
+
+    # Practicality bar: at least 10k simulated cycles per host second
+    # even on the largest machine (typically far higher).
+    assert result.stats.cycles / mean_s > 10_000

@@ -1,0 +1,58 @@
+"""T1 — Regenerate Table 1: resource usage on the EP2C35.
+
+Paper (Section 7, Table 1)::
+
+    Component            LEs     RAMs
+    Control Unit         1,897      8
+    PE Array (16 PEs)    5,984     96
+    Network              1,791      0
+    Total                9,672    104
+    Available           33,216    105
+
+plus the two prose claims: ~75 MHz clock, and "the main factor that
+limits the number of PEs is the availability of RAM blocks".
+"""
+
+from repro.bench import Experiment
+from repro.core import ProcessorConfig
+from repro.fpga import (
+    EP2C35,
+    PAPER_TABLE1,
+    max_pes,
+    pipelined_fmax_mhz,
+    table1,
+)
+
+
+def test_table1_resource_usage(once):
+    cfg = ProcessorConfig()   # the prototype: 16 PEs, W=8, T=16, 1 KB lmem
+    rows = once(table1, cfg)
+
+    exp = Experiment("T1", "Table 1 — resource usage on EP2C35")
+    t = exp.new_table(("Component", "LEs", "RAMs", "paper LEs", "paper RAMs"),
+                      title="Resource usage (modeled vs. paper)")
+    for row in rows:
+        paper = PAPER_TABLE1[row.name]
+        t.add_row(row.name, row.logic_elements, row.ram_blocks,
+                  paper[0], paper[1])
+        exp.compare(f"{row.name} LEs", paper[0], row.logic_elements,
+                    rel_tolerance=0.01)
+        exp.compare(f"{row.name} RAMs", paper[1], row.ram_blocks,
+                    rel_tolerance=0.01)
+    t.add_row("Available", EP2C35.logic_elements, EP2C35.ram_blocks,
+              *PAPER_TABLE1["Available"])
+
+    clock = pipelined_fmax_mhz(cfg)
+    exp.compare("clock (MHz)", 75.0, round(clock, 1), rel_tolerance=0.02)
+
+    fit = max_pes(EP2C35)
+    exp.finding(f"max PEs on EP2C35 = {fit.max_pes}, limited by "
+                f"{fit.limiting_resource} "
+                f"(LE util {fit.logic_utilization:.0%}, "
+                f"RAM util {fit.ram_utilization:.0%}) — paper: 16 PEs, "
+                f"RAM-limited")
+    exp.report()
+
+    assert exp.all_ok
+    assert fit.max_pes == 16
+    assert fit.limiting_resource == "ram"

@@ -1,0 +1,25 @@
+"""Shared fixtures for the experiment benchmarks."""
+
+import pytest
+
+
+def pytest_configure(config):
+    # The experiment benchmarks print their regenerated tables; make the
+    # output visible by default under `pytest benchmarks/ --benchmark-only`.
+    config.option.verbose = max(config.option.verbose, 0)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a deterministic simulation exactly once under pytest-benchmark.
+
+    The simulations are deterministic cycle counters, so repeated timing
+    rounds add wall-clock without information; one round records the
+    runtime and returns the result for assertions.
+    """
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return run

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Debugging a KASC-MT program with breakpoints and stepping.
+
+Shows `repro.core.Debugger`: break at a label, watch the associative
+max-extraction loop retire one responder per iteration, and inspect
+registers, flags, and the PE array mid-run.
+
+Run:  python examples/debugging_session.py
+"""
+
+from repro.core import Debugger, MTMode, ProcessorConfig
+
+PROGRAM = """
+.text
+main:
+    plw   p1, 0(p0)         # values
+    li    s1, 4             # extract the top 4
+loop:
+    rmaxu s2, p1            # current maximum
+    add   s3, s3, s2        # running sum of extracted maxima
+    fclr  f1
+    pceqs f1, p1, s2
+    rfirst f1, f1           # first PE holding the max
+    pands p1, p1, s0 [f1]   # retire it
+    addi  s1, s1, -1
+    bne   s1, s0, loop
+done:
+    halt
+"""
+
+VALUES = [23, 7, 56, 41, 8, 56, 19, 3]
+
+
+def main() -> None:
+    db = Debugger(ProcessorConfig(num_pes=8, num_threads=1,
+                                  mt_mode=MTMode.SINGLE, word_width=16))
+    db.load(PROGRAM)
+    db.proc.pe.set_lmem_column(0, VALUES)
+    print(f"values: {VALUES}\n")
+
+    db.breakpoint("loop")
+    iteration = 0
+    while True:
+        result = db.run()
+        if not result.paused:
+            break
+        iteration += 1
+        print(f"--- paused at iteration {iteration} "
+              f"(cycle {db.cycle}) ---")
+        print(f"    {db.where()}")
+        print(f"    remaining rounds s1 = {db.scalar(1)}, "
+              f"last max s2 = {db.scalar(2)}, "
+              f"sum s3 = {db.scalar(3)}")
+        print(f"    surviving values: {db.pe_reg(1).tolist()}")
+
+    print("\n--- program finished ---")
+    print(db.disassemble_around())
+    print(f"\nsum of the top 4 values = {db.scalar(3)}")
+    expected = sum(sorted(VALUES, reverse=True)[:4])
+    assert db.scalar(3) == expected
+    print(f"matches sorted(values)[:4] = {expected} ✓")
+
+    # Stepping: rerun and advance instruction by instruction.
+    db.load(PROGRAM)
+    db.proc.pe.set_lmem_column(0, VALUES)
+    print("\nsingle-stepping the first five instructions:")
+    for _ in range(5):
+        db.step_instructions(1)
+        print(f"  cycle {db.cycle:3d}  issued "
+              f"{db.proc.stats.instructions}  next: {db.where()}")
+
+
+if __name__ == "__main__":
+    main()

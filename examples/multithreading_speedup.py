@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""The paper's headline effect: multithreading hides reduction latency.
+
+Runs the reduction-bound microbenchmark (every loop iteration issues a
+global reduction and immediately consumes it) at several PE counts and
+thread counts.  With one thread the machine stalls ``b + r`` cycles per
+reduction (Figure 2); with enough hardware threads the issue slots fill
+and IPC approaches 1 — the core claim of Sections 1 and 5.
+
+Run:  python examples/multithreading_speedup.py
+"""
+
+from repro import MTMode, ProcessorConfig
+from repro.programs import reduction_storm, run_kernel
+from repro.util.tables import format_table
+
+TOTAL_ITERS = 96
+
+
+def run_config(num_pes: int, threads: int) -> tuple[int, float]:
+    if threads == 1:
+        cfg = ProcessorConfig(num_pes=num_pes, num_threads=1,
+                              word_width=16, mt_mode=MTMode.SINGLE)
+    else:
+        cfg = ProcessorConfig(num_pes=num_pes, num_threads=threads,
+                              word_width=16, mt_mode=MTMode.FINE)
+    kernel = reduction_storm(num_pes, total_iters=TOTAL_ITERS,
+                             threads=threads)
+    run = run_kernel(kernel, cfg)
+    return run.cycles, run.result.stats.ipc
+
+
+def main() -> None:
+    pe_counts = (16, 64, 256, 1024)
+    thread_counts = (1, 2, 4, 8, 16)
+
+    rows = []
+    for p in pe_counts:
+        cells = [f"p={p}"]
+        base_cycles = None
+        for t in thread_counts:
+            cycles, ipc = run_config(p, t)
+            if base_cycles is None:
+                base_cycles = cycles
+            cells.append(f"{ipc:.2f} ({base_cycles / cycles:.1f}x)")
+        rows.append(cells)
+
+    headers = ["PEs \\ threads"] + [f"T={t}" for t in thread_counts]
+    print(f"{TOTAL_ITERS} reduction-consume iterations split across "
+          f"T threads\ncell = IPC (speedup vs single thread)\n")
+    print(format_table(headers, rows))
+
+    print("""
+Reading the table:
+* With one thread, IPC collapses as PEs grow: each reduction costs
+  b + r = ceil(log2 p) + ceil(log2 p) stall cycles.
+* Fine-grain multithreading fills those slots with other threads'
+  instructions; by T=8-16 the pipeline runs near IPC=1 even at 1024 PEs,
+  exactly the scaling argument of the paper's Sections 1 and 5.""")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Streaming a dataset much larger than the PE array.
+
+"Each PE has a small amount of local memory that acts as a programmer-
+or compiler-managed cache" (paper Section 6.2).  This example plays the
+programmer: a 10,000-record dataset flows through a 64-PE machine tile
+by tile, each tile's associative reductions computing partial results
+that the host folds — the software half of the machine's memory
+hierarchy.
+
+Run:  python examples/streaming_dataset.py
+"""
+
+import numpy as np
+
+from repro.core import ProcessorConfig
+from repro.programs.streaming import stream_statistics
+
+RECORDS = 10_000
+NUM_PES = 64
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    data = rng.integers(0, 450, size=RECORDS)
+    cfg = ProcessorConfig(num_pes=NUM_PES, word_width=16)
+
+    stats, tiles = stream_statistics(data, cfg)
+
+    print(f"dataset: {RECORDS} records streamed through {NUM_PES} PEs "
+          f"in {len(tiles)} tiles\n")
+    print(f"max   = {stats['max']}   (numpy: {int(data.max())})")
+    print(f"min   = {stats['min']}   (numpy: {int(data.min())})")
+    print(f"count = {stats['count']}")
+    print(f"sum   = {stats['sum']}  (numpy: {int(data.sum())}, "
+          f"{stats['saturated_tiles']} tiles saturated the sum unit)")
+
+    assert stats["max"] == data.max()
+    assert stats["min"] == data.min()
+    assert stats["count"] == RECORDS
+
+    total_cycles = sum(t.cycles for t in tiles)
+    per_tile = total_cycles / len(tiles)
+    print(f"\nsimulated work: {total_cycles} cycles total, "
+          f"{per_tile:.0f} per tile")
+    print(f"at the prototype's ~75 MHz clock, the whole scan is "
+          f"~{total_cycles / 75:.0f} us of machine time —")
+    print("the host/off-chip transfer between tiles, not the associative "
+          "array, would dominate,\nwhich is exactly why the paper sizes "
+          "local memory to 'reduce off-chip memory traffic' (§6.2).")
+
+
+if __name__ == "__main__":
+    main()

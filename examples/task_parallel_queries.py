@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Task-parallel associative queries: the MASC connection.
+
+The ASC line of research extends to MASC (Multiple-instruction-stream
+ASC), where several instruction streams work on the same associative
+memory.  The Multithreaded ASC Processor's hardware threads provide
+exactly that: each thread is an independent instruction stream with its
+own parallel-register view of the shared PE array and local memory.
+
+This example runs three *different* associative queries concurrently —
+one thread scans salaries, one ages, one departments — over the same
+employee table in PE local memory, and shows the fine-grain scheduler
+interleaving them so each thread's reduction latencies are hidden by
+the other threads' work.
+
+Run:  python examples/task_parallel_queries.py
+"""
+
+import numpy as np
+
+from repro import Processor, ProcessorConfig, assemble
+from repro.assoc import AscContext
+from repro.programs.workloads import employee_table
+
+NUM_PES = 64
+
+SOURCE = """
+# Three concurrent query threads over a shared table.
+# lmem columns: 0=id 1=age 2=dept 3=salary
+# results: mem[0]=max salary  mem[1]=avg age numerator (sum)
+#          mem[2]=headcount of dept 2
+.text
+main:
+    tspawn s1, age_query
+    tspawn s1, dept_query
+    # main thread: salary query
+    plw    p1, 3(p0)
+    rmaxu  s2, p1
+    sw     s2, 0(s0)
+    texit
+
+age_query:
+    plw    p1, 1(p0)
+    rsum   s2, p1
+    sw     s2, 1(s0)
+    texit
+
+dept_query:
+    plw    p1, 2(p0)
+    fclr   f1
+    pceqi  f1, p1, 2
+    rcount s2, f1
+    sw     s2, 2(s0)
+    texit
+"""
+
+
+def main() -> None:
+    table = employee_table(NUM_PES)
+    cfg = ProcessorConfig(num_pes=NUM_PES, num_threads=4, word_width=16)
+    proc = Processor(cfg, trace=True)
+    proc.load(assemble(SOURCE, word_width=cfg.word_width))
+    proc.pe.set_lmem_column(0, table.ids)
+    proc.pe.set_lmem_column(1, table.ages)
+    proc.pe.set_lmem_column(2, table.depts)
+    proc.pe.set_lmem_column(3, table.salaries)
+    result = proc.run()
+
+    max_salary, age_sum, dept2 = result.memory(0, 3)
+    print(f"max salary          = {max_salary}")
+    print(f"sum of ages         = {age_sum} "
+          f"(mean {age_sum / NUM_PES:.1f})")
+    print(f"employees in dept 2 = {dept2}")
+
+    # Cross-check against the high-level API.
+    ctx = AscContext(NUM_PES, 16)
+    ctx.add_field("age", table.ages)
+    ctx.add_field("dept", table.depts)
+    ctx.add_field("salary", table.salaries)
+    assert max_salary == ctx.max("salary", signed=False)
+    assert age_sum == ctx.sum("age")
+    assert dept2 == ctx.count(ctx["dept"] == 2)
+    print("\nresults match the AscContext reference ✓")
+
+    # Show the interleaving: which thread issued in each early cycle.
+    timeline = {}
+    for rec in result.trace:
+        timeline.setdefault(rec.cycle, []).append(rec.thread)
+    cycles = sorted(timeline)[:24]
+    print("\nissue timeline (cycle: thread):",
+          " ".join(f"{c}:{timeline[c][0]}" for c in cycles))
+    by_thread = result.stats.per_thread_issued
+    print(f"instructions per thread: {dict(sorted(by_thread.items()))}")
+    print(f"total {result.cycles} cycles at IPC "
+          f"{result.stats.ipc:.2f} — three instruction streams sharing "
+          f"one associative array (the MASC idea, on this paper's "
+          f"hardware threads)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so `pip install -e .` works in offline environments whose setuptools
+lacks PEP 660 support (no `wheel` package available); all project metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,88 @@
+"""repro — a reproduction of "A Prototype Multithreaded Associative SIMD
+Processor" (Schaffer & Walker, IPDPS 2007 Workshops).
+
+A cycle-accurate Python simulator of the Multithreaded ASC Processor —
+its RISC/associative ISA, split scalar/parallel/reduction pipeline,
+pipelined broadcast/reduction network, and fine-grain hardware
+multithreading — plus the predecessor machines it is compared against,
+a calibrated FPGA resource/timing model that regenerates the paper's
+synthesis results, a high-level associative-computing API, and a kernel
+library of classic ASC workloads.
+
+Quick start::
+
+    from repro import ProcessorConfig, run_program
+
+    result = run_program('''
+    .text
+    main:
+        li     s1, 41
+        pbcast p1, s1
+        paddi  p1, p1, 1
+        rmax   s2, p1
+        halt
+    ''', ProcessorConfig(num_pes=16))
+    assert result.scalar(2) == 42
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.asm import AsmError, Assembler, Program, assemble, disassemble
+from repro.assoc import (
+    AscContext,
+    FunctionalMachine,
+    Responders,
+    run_functional,
+)
+from repro.core import (
+    BranchPolicy,
+    MTMode,
+    MultiplierKind,
+    Processor,
+    ProcessorConfig,
+    RunResult,
+    SchedulerPolicy,
+    SimulationError,
+    Stats,
+    run_program,
+)
+from repro.isa import Instruction, decode, encode
+from repro.programs import (
+    ALL_KERNEL_BUILDERS,
+    Kernel,
+    run_kernel,
+    verify_kernel,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AsmError",
+    "Assembler",
+    "Program",
+    "assemble",
+    "disassemble",
+    "AscContext",
+    "FunctionalMachine",
+    "Responders",
+    "run_functional",
+    "BranchPolicy",
+    "MTMode",
+    "MultiplierKind",
+    "Processor",
+    "ProcessorConfig",
+    "RunResult",
+    "SchedulerPolicy",
+    "SimulationError",
+    "Stats",
+    "run_program",
+    "Instruction",
+    "decode",
+    "encode",
+    "ALL_KERNEL_BUILDERS",
+    "Kernel",
+    "run_kernel",
+    "verify_kernel",
+    "__version__",
+]

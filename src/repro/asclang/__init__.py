@@ -1,0 +1,21 @@
+"""ASC query compiler: pythonic associative queries -> KASC-MT assembly.
+
+The software layer the paper defers to future work (Section 9).
+"""
+
+from repro.asclang.compiler import AscProgram, CompiledQuery
+from repro.asclang.ir import (
+    AscLangError,
+    FlagValue,
+    ParallelValue,
+    ScalarValue,
+)
+
+__all__ = [
+    "AscProgram",
+    "CompiledQuery",
+    "AscLangError",
+    "FlagValue",
+    "ParallelValue",
+    "ScalarValue",
+]

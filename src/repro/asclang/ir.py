@@ -1,0 +1,170 @@
+"""Intermediate representation for the ASC query compiler.
+
+The paper defers software to future work ("Future plans also include
+implementing software for the architecture", Section 9).
+:mod:`repro.asclang` is that software layer: a small compiler from
+pythonic associative-query expressions to KASC-MT assembly.
+
+Programs are built eagerly: every operator application appends one
+:class:`Op` to the program's linear op list, so the list is already in
+topological (construction) order and compilation is a single forward
+pass.  Values are handles (node ids) with operator overloading; the
+three value kinds mirror the machine's three register files:
+
+* :class:`ParallelValue` — one word per PE (parallel registers);
+* :class:`FlagValue` — one bit per PE (flag registers / responders);
+* :class:`ScalarValue` — a control-unit word (scalar registers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class AscLangError(ValueError):
+    """Malformed query (type error, cross-program value, exhaustion)."""
+
+
+@dataclass(frozen=True)
+class Op:
+    """One IR operation.
+
+    ``opcode`` is an IR-level name (not a machine mnemonic); ``args``
+    holds input node ids and literal ints; ``result`` the defined node
+    id (or None); ``kind`` the result kind ("p" | "f" | "s").
+    """
+
+    opcode: str
+    args: tuple
+    result: int | None
+    kind: str | None
+
+
+class Value:
+    """Base handle: a node id bound to its owning program."""
+
+    kind = "?"
+
+    def __init__(self, program: "object", node: int) -> None:
+        self.program = program
+        self.node = node
+
+    def _check_same(self, other: "Value") -> None:
+        if other.program is not self.program:
+            raise AscLangError(
+                "cannot mix values from different AscProgram instances")
+
+    def __hash__(self) -> int:
+        return hash((id(self.program), self.node))
+
+
+class ParallelValue(Value):
+    """A per-PE word vector (lives in a parallel register)."""
+
+    kind = "p"
+
+    # -- arithmetic/logic: parallel op parallel | scalar | int -------------
+
+    def _binary(self, base: str, other) -> "ParallelValue":
+        return self.program._parallel_binary(base, self, other)
+
+    def __add__(self, other):
+        return self._binary("add", other)
+
+    def __sub__(self, other):
+        return self._binary("sub", other)
+
+    def __and__(self, other):
+        return self._binary("and", other)
+
+    def __or__(self, other):
+        return self._binary("or", other)
+
+    def __xor__(self, other):
+        return self._binary("xor", other)
+
+    def __mul__(self, other):
+        return self._binary("mul", other)
+
+    def __lshift__(self, amount: int):
+        return self.program._parallel_shift("sll", self, amount)
+
+    def __rshift__(self, amount: int):
+        return self.program._parallel_shift("srl", self, amount)
+
+    # -- comparisons -> FlagValue -------------------------------------------
+
+    def _compare(self, base: str, other) -> "FlagValue":
+        return self.program._parallel_compare(base, self, other)
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self._compare("ceq", other)
+
+    def __ne__(self, other):  # type: ignore[override]
+        return self._compare("cne", other)
+
+    def __lt__(self, other):
+        return self._compare("clt", other)
+
+    def __le__(self, other):
+        return self._compare("cle", other)
+
+    def __gt__(self, other):
+        return self.program._parallel_compare_swapped("clt", self, other)
+
+    def __ge__(self, other):
+        return self.program._parallel_compare_swapped("cle", self, other)
+
+    __hash__ = Value.__hash__
+
+
+class FlagValue(Value):
+    """A per-PE boolean (lives in a flag register): a responder set."""
+
+    kind = "f"
+
+    def _binary(self, base: str, other: "FlagValue") -> "FlagValue":
+        if not isinstance(other, FlagValue):
+            raise AscLangError(f"flag logic needs FlagValue operands, "
+                               f"got {type(other).__name__}")
+        return self.program._flag_binary(base, self, other)
+
+    def __and__(self, other):
+        return self._binary("fand", other)
+
+    def __or__(self, other):
+        return self._binary("for", other)
+
+    def __xor__(self, other):
+        return self._binary("fxor", other)
+
+    def __invert__(self):
+        return self.program._flag_not(self)
+
+    __hash__ = Value.__hash__
+
+
+class ScalarValue(Value):
+    """A control-unit word (lives in a scalar register)."""
+
+    kind = "s"
+
+    def _binary(self, base: str, other) -> "ScalarValue":
+        return self.program._scalar_binary(base, self, other)
+
+    def __add__(self, other):
+        return self._binary("add", other)
+
+    def __sub__(self, other):
+        return self._binary("sub", other)
+
+    def __and__(self, other):
+        return self._binary("and", other)
+
+    def __or__(self, other):
+        return self._binary("or", other)
+
+    def __xor__(self, other):
+        return self._binary("xor", other)
+
+    __hash__ = Value.__hash__

@@ -1,0 +1,15 @@
+"""Assembler and disassembler for the KASC-MT ISA."""
+
+from repro.asm.assembler import AsmError, Assembler, assemble
+from repro.asm.disassembler import disassemble, format_instruction
+from repro.asm.program import Program, SourceLine
+
+__all__ = [
+    "AsmError",
+    "Assembler",
+    "assemble",
+    "disassemble",
+    "format_instruction",
+    "Program",
+    "SourceLine",
+]

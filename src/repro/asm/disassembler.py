@@ -1,0 +1,61 @@
+"""Disassembler: Instruction → canonical assembly text.
+
+The output re-assembles to an identical instruction (verified by the
+round-trip property tests), with one documented exception: branch targets
+are printed as raw numeric offsets (the disassembler has no label table).
+Numeric branch offsets are accepted verbatim by the assembler, so the
+round trip still holds.
+"""
+
+from __future__ import annotations
+
+from repro.isa import registers
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Format
+
+
+_KIND_NAMER = {
+    "sreg": registers.scalar_reg_name,
+    "preg": registers.parallel_reg_name,
+    "freg": registers.flag_reg_name,
+}
+
+
+def format_instruction(instr: Instruction) -> str:
+    """Render one instruction in canonical assembly syntax."""
+    spec = instr.spec
+    parts: list[str] = []
+    for kind, fname in spec.operands:
+        if kind in _KIND_NAMER:
+            parts.append(_KIND_NAMER[kind](getattr(instr, fname)))
+        elif kind in ("imm", "regidx"):
+            parts.append(str(instr.imm))
+        elif kind == "target":
+            value = instr.target if spec.fmt is Format.J else instr.imm
+            parts.append(str(value))
+        elif kind == "mem_s":
+            parts.append(
+                f"{instr.imm}({registers.scalar_reg_name(instr.rs)})")
+        elif kind == "mem_p":
+            parts.append(
+                f"{instr.imm}({registers.parallel_reg_name(instr.rs)})")
+        else:  # pragma: no cover - exhaustive over operand kinds
+            raise AssertionError(kind)
+    text = instr.mnemonic
+    if parts:
+        text += " " + ", ".join(parts)
+    if spec.masked and instr.mf != registers.ALWAYS_FLAG:
+        text += f" [{registers.flag_reg_name(instr.mf)}]"
+    return text
+
+
+def disassemble(words: list[int], with_addresses: bool = True) -> str:
+    """Disassemble a sequence of machine words into listing text."""
+    lines = []
+    for pc, word in enumerate(words):
+        text = format_instruction(Instruction.decode(word))
+        if with_addresses:
+            lines.append(f"{pc:6d}:  {word:08x}  {text}")
+        else:
+            lines.append(text)
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Assembled program container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import Instruction
+
+
+@dataclass
+class SourceLine:
+    """Provenance of one assembled instruction."""
+
+    lineno: int
+    text: str
+
+
+@dataclass
+class Program:
+    """The output of the assembler: code, initialized data and symbols.
+
+    * ``instructions`` — instruction memory, one entry per word; the PC is
+      an index into this list.
+    * ``data`` — initial contents of the control unit's scalar data
+      memory (word-addressed).
+    * ``symbols`` — label/``.equ`` values (text labels are instruction
+      addresses, data labels are scalar-memory word addresses).
+    * ``source_map`` — instruction index → originating source line, used
+      for simulator tracebacks and pipeline traces.
+    """
+
+    instructions: list[Instruction] = field(default_factory=list)
+    data: list[int] = field(default_factory=list)
+    symbols: dict[str, int] = field(default_factory=dict)
+    source_map: dict[int, SourceLine] = field(default_factory=dict)
+    entry: int = 0
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def encode(self) -> list[int]:
+        """Machine words for the whole text section."""
+        return [instr.encode() for instr in self.instructions]
+
+    def location_of(self, pc: int) -> str:
+        """Human-readable source location for a PC, for diagnostics."""
+        src = self.source_map.get(pc)
+        if src is None:
+            return f"pc={pc}"
+        return f"pc={pc} (line {src.lineno}: {src.text.strip()})"

@@ -1,0 +1,20 @@
+"""Associative computing layer: high-level ASC API + functional backend."""
+
+from repro.assoc.context import AscContext, AscError, FieldExpr, Responders
+from repro.assoc.functional import (
+    FunctionalError,
+    FunctionalMachine,
+    FunctionalResult,
+    run_functional,
+)
+
+__all__ = [
+    "AscContext",
+    "AscError",
+    "FieldExpr",
+    "Responders",
+    "FunctionalError",
+    "FunctionalMachine",
+    "FunctionalResult",
+    "run_functional",
+]

@@ -1,0 +1,274 @@
+"""High-level associative computing (ASC) API.
+
+The programming model of Potter et al. [4] that the processor exists to
+accelerate: data lives as *fields* across *cells* (one record per PE),
+and computation proceeds by parallel searches that produce *responder*
+sets, followed by global reductions (max/min/and/or/sum/count) and
+responder iteration (pick one, process, drop it, repeat).
+
+:class:`AscContext` implements this model with exactly the word-width
+and identity-element semantics of the simulated hardware (it calls the
+same reduction functions as the reduction network), so algorithms can be
+prototyped here and then lowered onto the simulator with matching
+results — the integration tests do precisely that for every kernel in
+:mod:`repro.programs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.network import reduction as red
+from repro.util.bitops import (
+    mask_for_width,
+    np_to_signed,
+    np_to_unsigned,
+    to_signed,
+)
+
+
+class AscError(ValueError):
+    """Misuse of the associative context (bad field, shape, width)."""
+
+
+@dataclass(frozen=True)
+class Responders:
+    """An immutable responder set (one bit per cell)."""
+
+    mask: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "mask",
+                           np.asarray(self.mask, dtype=bool).copy())
+
+    def __and__(self, other: "Responders") -> "Responders":
+        return Responders(self.mask & other.mask)
+
+    def __or__(self, other: "Responders") -> "Responders":
+        return Responders(self.mask | other.mask)
+
+    def __invert__(self) -> "Responders":
+        return Responders(~self.mask)
+
+    def __len__(self) -> int:
+        return int(np.count_nonzero(self.mask))
+
+    def __bool__(self) -> bool:
+        return bool(self.mask.any())
+
+    def without(self, index: int) -> "Responders":
+        out = self.mask.copy()
+        out[index] = False
+        return Responders(out)
+
+
+class FieldExpr:
+    """A lazily evaluated per-cell expression over fields.
+
+    Supports the comparison and arithmetic operators needed to express
+    searches pythonically: ``ctx.search((ctx["age"] > 30) & (ctx["dept"] == 2))``.
+    All arithmetic wraps at the context's word width, exactly as the PE
+    ALU would compute it.
+    """
+
+    def __init__(self, ctx: "AscContext", values: np.ndarray) -> None:
+        self.ctx = ctx
+        self.values = np_to_unsigned(np.asarray(values, dtype=np.int64),
+                                     ctx.width)
+
+    # -- arithmetic (wrapping, like the PE ALU) --------------------------------
+
+    def _coerce(self, other) -> np.ndarray:
+        if isinstance(other, FieldExpr):
+            return other.values
+        return np_to_unsigned(
+            np.broadcast_to(np.int64(other), self.values.shape).copy(),
+            self.ctx.width)
+
+    def __add__(self, other) -> "FieldExpr":
+        return FieldExpr(self.ctx, self.values + self._coerce(other))
+
+    def __sub__(self, other) -> "FieldExpr":
+        return FieldExpr(self.ctx, self.values - self._coerce(other))
+
+    def __mul__(self, other) -> "FieldExpr":
+        return FieldExpr(self.ctx, self.values * self._coerce(other))
+
+    def __and__(self, other) -> "FieldExpr":
+        return FieldExpr(self.ctx, self.values & self._coerce(other))
+
+    def __or__(self, other) -> "FieldExpr":
+        return FieldExpr(self.ctx, self.values | self._coerce(other))
+
+    def __xor__(self, other) -> "FieldExpr":
+        return FieldExpr(self.ctx, self.values ^ self._coerce(other))
+
+    # -- comparisons (signed, like pclt/pcle) -----------------------------------
+
+    def _signed(self) -> np.ndarray:
+        return np_to_signed(self.values, self.ctx.width)
+
+    def _signed_other(self, other) -> np.ndarray:
+        return np_to_signed(self._coerce(other), self.ctx.width)
+
+    def __eq__(self, other) -> Responders:  # type: ignore[override]
+        return Responders(self.values == self._coerce(other))
+
+    def __ne__(self, other) -> Responders:  # type: ignore[override]
+        return Responders(self.values != self._coerce(other))
+
+    def __lt__(self, other) -> Responders:
+        return Responders(self._signed() < self._signed_other(other))
+
+    def __le__(self, other) -> Responders:
+        return Responders(self._signed() <= self._signed_other(other))
+
+    def __gt__(self, other) -> Responders:
+        return Responders(self._signed() > self._signed_other(other))
+
+    def __ge__(self, other) -> Responders:
+        return Responders(self._signed() >= self._signed_other(other))
+
+    __hash__ = None  # type: ignore[assignment]
+
+
+class AscContext:
+    """An associative memory of ``num_cells`` records with named fields."""
+
+    def __init__(self, num_cells: int, width: int = 16) -> None:
+        if num_cells < 1:
+            raise AscError("need at least one cell")
+        self.num_cells = num_cells
+        self.width = width
+        self.word_mask = mask_for_width(width)
+        self._fields: dict[str, np.ndarray] = {}
+
+    # -- fields ---------------------------------------------------------------------
+
+    def add_field(self, name: str, values=0) -> None:
+        """Create a field; ``values`` is a scalar fill or per-cell array."""
+        if name in self._fields:
+            raise AscError(f"field {name!r} already exists")
+        arr = np.broadcast_to(np.asarray(values, dtype=np.int64),
+                              (self.num_cells,)).copy()
+        self._fields[name] = np_to_unsigned(arr, self.width)
+
+    def field(self, name: str) -> FieldExpr:
+        if name not in self._fields:
+            raise AscError(f"unknown field {name!r}")
+        return FieldExpr(self, self._fields[name])
+
+    def __getitem__(self, name: str) -> FieldExpr:
+        return self.field(name)
+
+    def set_field(self, name: str, expr, where: Responders | None = None,
+                  ) -> None:
+        """Masked parallel assignment, like a masked parallel instruction."""
+        if name not in self._fields:
+            raise AscError(f"unknown field {name!r}")
+        values = (expr.values if isinstance(expr, FieldExpr)
+                  else np.broadcast_to(np.int64(expr),
+                                       (self.num_cells,)))
+        values = np_to_unsigned(np.asarray(values, np.int64), self.width)
+        if where is None:
+            self._fields[name][:] = values
+        else:
+            np.copyto(self._fields[name], values, where=where.mask)
+
+    def field_values(self, name: str, signed: bool = False) -> np.ndarray:
+        """Raw (or sign-interpreted) field contents."""
+        vals = self._fields[name].copy()
+        return np_to_signed(vals, self.width) if signed else vals
+
+    @property
+    def fields(self) -> tuple[str, ...]:
+        return tuple(self._fields)
+
+    # -- searches and responders ---------------------------------------------------
+
+    def all_cells(self) -> Responders:
+        return Responders(np.ones(self.num_cells, dtype=bool))
+
+    def search(self, responders: Responders) -> Responders:
+        """Identity helper: named for readability at call sites."""
+        return responders
+
+    def any(self, responders: Responders) -> bool:
+        """Some/none responder detection."""
+        return bool(red.any_responders(responders.mask, self._all()))
+
+    def count(self, responders: Responders) -> int:
+        """Exact responder count (response counter unit)."""
+        return red.count_responders(responders.mask, self._all())
+
+    def pick_one(self, responders: Responders) -> int | None:
+        """Multiple response resolver: index of the first responder."""
+        first = red.resolve_first(responders.mask, self._all())
+        idx = np.flatnonzero(first)
+        return int(idx[0]) if idx.size else None
+
+    def each_responder(self, responders: Responders):
+        """Iterate responders the way ASC hardware does: pick-one, yield,
+        drop, repeat — order is PE order by construction."""
+        current = responders
+        while True:
+            idx = self.pick_one(current)
+            if idx is None:
+                return
+            yield idx
+            current = current.without(idx)
+
+    # -- reductions ------------------------------------------------------------------
+
+    def _all(self) -> np.ndarray:
+        return np.ones(self.num_cells, dtype=bool)
+
+    def _vals(self, field_or_expr) -> np.ndarray:
+        if isinstance(field_or_expr, FieldExpr):
+            return field_or_expr.values
+        return self._fields[field_or_expr]
+
+    def max(self, field, where: Responders | None = None,
+            signed: bool = True) -> int:
+        """Global maximum (max/min unit); signed by default like ``rmax``."""
+        mask = (where.mask if where is not None
+                else self._all())
+        fn = red.reduce_max if signed else red.reduce_max_unsigned
+        raw = fn(self._vals(field), mask, self.width)
+        return to_signed(raw, self.width) if signed else raw
+
+    def min(self, field, where: Responders | None = None,
+            signed: bool = True) -> int:
+        mask = (where.mask if where is not None
+                else self._all())
+        fn = red.reduce_min if signed else red.reduce_min_unsigned
+        raw = fn(self._vals(field), mask, self.width)
+        return to_signed(raw, self.width) if signed else raw
+
+    def sum(self, field, where: Responders | None = None) -> int:
+        """Saturating signed sum (sum unit)."""
+        mask = (where.mask if where is not None
+                else self._all())
+        return to_signed(red.reduce_sum(self._vals(field), mask, self.width),
+                         self.width)
+
+    def bit_and(self, field, where: Responders | None = None) -> int:
+        mask = (where.mask if where is not None
+                else self._all())
+        return red.reduce_and(self._vals(field), mask, self.width)
+
+    def bit_or(self, field, where: Responders | None = None) -> int:
+        mask = (where.mask if where is not None
+                else self._all())
+        return red.reduce_or(self._vals(field), mask, self.width)
+
+    def get(self, field, index: int, signed: bool = False) -> int:
+        """Read one cell's field value (rget with a one-hot responder)."""
+        if not 0 <= index < self.num_cells:
+            raise AscError(f"cell index {index} out of range")
+        one_hot = np.zeros(self.num_cells, dtype=bool)
+        one_hot[index] = True
+        raw = red.reduce_or(self._vals(field), one_hot, self.width)
+        return to_signed(raw, self.width) if signed else raw

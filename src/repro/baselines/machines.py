@@ -1,0 +1,58 @@
+"""Configuration factories for the processor generations in the paper.
+
+Section 3 traces the lineage: the first 4-PE ASC Processor [5], the
+scalable ASC Processor [6], the pipelined ASC Processor [7] ("it still
+suffered from the broadcast/reduction bottleneck because the broadcast
+and reduction operations were not pipelined"), and finally the
+Multithreaded ASC Processor of this paper.  These factories configure
+the simulator to model each generation so the benchmark suite can
+compare them under identical programs (experiment E3).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import (
+    MTMode,
+    MultiplierKind,
+    DividerKind,
+    ProcessorConfig,
+)
+
+
+def multithreaded_asc(num_pes: int = 16, num_threads: int = 16,
+                      word_width: int = 8, **overrides) -> ProcessorConfig:
+    """The paper's machine: fully pipelined networks + fine-grain MT."""
+    return ProcessorConfig(num_pes=num_pes, num_threads=num_threads,
+                           word_width=word_width, **overrides)
+
+
+def single_threaded_pipelined_asc(num_pes: int = 16, word_width: int = 8,
+                                  **overrides) -> ProcessorConfig:
+    """Ablation: the paper's pipelined networks but no multithreading.
+
+    Isolates the contribution of multithreading from that of network
+    pipelining; this machine eats the full ``b + r`` reduction-hazard
+    stalls (Figure 2) with no other thread to hide them.
+    """
+    return ProcessorConfig(num_pes=num_pes, num_threads=1,
+                           word_width=word_width, mt_mode=MTMode.SINGLE,
+                           **overrides)
+
+
+def pipelined_asc_2005(num_pes: int = 16, word_width: int = 8,
+                       **overrides) -> ProcessorConfig:
+    """The 2005 pipelined ASC Processor [7].
+
+    Pipelined instruction execution (classic five-stage RISC) but
+    *unpipelined* broadcast and reduction networks: the broadcast settles
+    within one (slow) clock, max/min runs the bit-serial Falkoff
+    algorithm, and reductions block the single shared network.  The
+    clock-rate penalty of the unpipelined broadcast is applied by
+    :func:`repro.fpga.timing_model.fmax_mhz`.
+    """
+    return ProcessorConfig(num_pes=num_pes, num_threads=1,
+                           word_width=word_width, mt_mode=MTMode.SINGLE,
+                           pipelined_broadcast=False,
+                           pipelined_reduction=False,
+                           multiplier=MultiplierKind.SEQUENTIAL,
+                           **overrides)

@@ -1,0 +1,138 @@
+"""The non-pipelined (multi-cycle) ASC Processor model.
+
+Models the scalable ASC Processor of Wang & Walker [6] (paper Section 3):
+no instruction pipelining at all — every instruction runs to completion
+(fetch, decode, broadcast, execute, write back) before the next starts —
+and max/min reductions use the bit-serial Falkoff algorithm at one bit
+per cycle.
+
+Implemented as a cost model over the functional interpreter: the
+architectural semantics come from the shared :class:`Executor` (so
+results are identical to the other machines) while cycles are charged
+per instruction class:
+
+* scalar:     4 cycles (IF, ID, EX, WB);
+* parallel:   5 cycles (IF, ID, broadcast-settle, EX, WB);
+* reduction:  5 + extra, where extra is W - 1 additional cycles for the
+  bit-serial Falkoff max/min and 0 for the single-settle OR/AND tree;
+* sequential multiply/divide add their unit latencies;
+* taken branches/jumps add 1 refetch cycle.
+
+The unpipelined broadcast also caps the clock rate; that penalty lives in
+:func:`repro.fpga.timing_model.nonpipelined_broadcast_fmax_mhz` so that
+cycle counts and clock effects can be reported separately (experiment E3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.asm.program import Program
+from repro.assoc.functional import FunctionalMachine
+from repro.core.config import MTMode, MultiplierKind, ProcessorConfig
+from repro.core.thread import ThreadState
+from repro.isa.opcodes import ExecClass
+from repro.network.falkoff import falkoff_cycles
+from repro.pe.seq_units import (
+    sequential_div_latency,
+    sequential_mul_latency,
+)
+
+SCALAR_CYCLES = 4
+PARALLEL_CYCLES = 5
+REDUCTION_BASE_CYCLES = 5
+TAKEN_REDIRECT_CYCLES = 1
+
+
+def nonpipelined_config(num_pes: int = 16, word_width: int = 8,
+                        **overrides) -> ProcessorConfig:
+    """Configuration for the non-pipelined machine (always 1 thread)."""
+    return ProcessorConfig(num_pes=num_pes, num_threads=1,
+                           word_width=word_width, mt_mode=MTMode.SINGLE,
+                           pipelined_broadcast=False,
+                           pipelined_reduction=False,
+                           multiplier=MultiplierKind.SEQUENTIAL,
+                           **overrides)
+
+
+@dataclass
+class NonPipelinedResult:
+    """Cycle count plus the functional machine (for output extraction)."""
+
+    cycles: int
+    instructions: int
+    machine: FunctionalMachine
+
+    # RunResult-compatible accessors so the harness can treat all
+    # machines uniformly.
+    def scalar(self, reg: int, thread: int = 0) -> int:
+        return self.machine.threads[thread].read_sreg(reg)
+
+    def pe_reg(self, reg: int, thread: int = 0):
+        return self.machine.pe.read_reg(thread, reg).copy()
+
+    def pe_flag(self, flag: int, thread: int = 0):
+        return self.machine.pe.read_flag(thread, flag).copy()
+
+    def memory(self, base: int, count: int) -> list[int]:
+        return self.machine.mem.dump(base, count)
+
+
+def instruction_cost(spec, cfg: ProcessorConfig, taken: bool) -> int:
+    """Cycles the multi-cycle machine spends on one instruction."""
+    if spec.exec_class is ExecClass.SCALAR:
+        cost = SCALAR_CYCLES
+    elif spec.exec_class is ExecClass.PARALLEL:
+        cost = PARALLEL_CYCLES
+    else:
+        cost = REDUCTION_BASE_CYCLES
+        if spec.reduction_unit == "maxmin":
+            cost += falkoff_cycles(cfg.word_width) - 1
+    if spec.is_mul:
+        cost += sequential_mul_latency(cfg.word_width) - 1
+    if spec.is_div:
+        cost += sequential_div_latency(cfg.word_width) - 1
+    if taken and (spec.is_branch or spec.is_jump):
+        cost += TAKEN_REDIRECT_CYCLES
+    return cost
+
+
+class NonPipelinedMachine:
+    """Multi-cycle single-threaded ASC machine (cost model + interpreter)."""
+
+    def __init__(self, config: ProcessorConfig | None = None) -> None:
+        self.cfg = config or nonpipelined_config()
+        if self.cfg.num_threads != 1:
+            raise ValueError("the non-pipelined ASC Processor is "
+                             "single-threaded")
+        self._fm = FunctionalMachine(self.cfg)
+
+    def load(self, program: Program) -> None:
+        self._fm.load(program)
+
+    @property
+    def pe(self):
+        return self._fm.pe
+
+    def run(self, program: Program | None = None,
+            max_steps: int = 10_000_000) -> NonPipelinedResult:
+        if program is not None:
+            self.load(program)
+        fm = self._fm
+        thread = fm.threads[0]
+        cycles = 0
+        instructions = 0
+        while not fm.halted and thread.state is ThreadState.RUNNABLE:
+            instr = fm.program.instructions[thread.pc]
+            outcome = fm.executor.execute(instr, thread, cycles)
+            cycles += instruction_cost(instr.spec, self.cfg, outcome.taken)
+            instructions += 1
+            thread.pc = outcome.next_pc
+            if outcome.halt:
+                fm.halted = True
+            if thread.state is ThreadState.EXITED:
+                fm.threads.release(thread.tid)
+            if instructions > max_steps:
+                raise RuntimeError(
+                    f"non-pipelined run exceeded {max_steps} instructions")
+        return NonPipelinedResult(cycles, instructions, fm)

@@ -1,0 +1,7 @@
+"""Benchmark harness."""
+
+from repro.bench.harness import Comparison, Experiment, geometric_mean
+from repro.bench.viz import bar_chart, line_chart, sparkline
+
+__all__ = ["Comparison", "Experiment", "geometric_mean",
+           "bar_chart", "line_chart", "sparkline"]

@@ -1,0 +1,149 @@
+"""Benchmark harness utilities.
+
+Shared machinery for the experiment scripts in ``benchmarks/``: each
+experiment regenerates one of the paper's tables/figures (or one of the
+extended E-experiments in DESIGN.md) as an ASCII table, records
+paper-vs-measured comparisons, and asserts the qualitative *shape* the
+paper claims (who wins, monotonicity, crossover locations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.tables import Table, format_table
+
+
+@dataclass
+class Comparison:
+    """One paper-reported value versus our measured value."""
+
+    quantity: str
+    paper: float
+    measured: float
+    rel_tolerance: float = 0.05
+
+    @property
+    def ok(self) -> bool:
+        if self.paper == 0:
+            return self.measured == 0
+        return (abs(self.measured - self.paper) / abs(self.paper)
+                <= self.rel_tolerance)
+
+    @property
+    def rel_error(self) -> float:
+        if self.paper == 0:
+            return 0.0 if self.measured == 0 else float("inf")
+        return (self.measured - self.paper) / self.paper
+
+
+@dataclass
+class Experiment:
+    """Accumulates one experiment's tables and comparisons."""
+
+    exp_id: str
+    title: str
+    tables: list[Table] = field(default_factory=list)
+    comparisons: list[Comparison] = field(default_factory=list)
+    findings: list[str] = field(default_factory=list)
+
+    def new_table(self, headers, title: str | None = None) -> Table:
+        table = Table(headers, title=title)
+        self.tables.append(table)
+        return table
+
+    def compare(self, quantity: str, paper: float, measured: float,
+                rel_tolerance: float = 0.05) -> Comparison:
+        cmp = Comparison(quantity, paper, measured, rel_tolerance)
+        self.comparisons.append(cmp)
+        return cmp
+
+    def finding(self, text: str) -> None:
+        self.findings.append(text)
+
+    @property
+    def all_ok(self) -> bool:
+        return all(c.ok for c in self.comparisons)
+
+    def render(self) -> str:
+        lines = [f"{'=' * 72}", f"{self.exp_id}: {self.title}", "=" * 72]
+        for table in self.tables:
+            lines.append("")
+            lines.append(table.render())
+        if self.comparisons:
+            lines.append("")
+            lines.append(format_table(
+                ("quantity", "paper", "measured", "rel err", "ok"),
+                [(c.quantity, c.paper, c.measured,
+                  f"{c.rel_error:+.1%}", "yes" if c.ok else "NO")
+                 for c in self.comparisons],
+                title="paper vs measured"))
+        for text in self.findings:
+            lines.append("")
+            lines.append(f"finding: {text}")
+        lines.append("")
+        return "\n".join(lines)
+
+    def report(self) -> None:
+        """Print the experiment (pytest -s shows it).
+
+        If ``REPRO_RESULTS_DIR`` is set, also archive the experiment as
+        JSON there (used by tools/reproduce_all.py).
+        """
+        print()
+        print(self.render())
+        import os
+
+        results_dir = os.environ.get("REPRO_RESULTS_DIR")
+        if results_dir:
+            self.save(os.path.join(results_dir, f"{self.exp_id}.json"))
+
+    def to_dict(self) -> dict:
+        """Machine-readable form (for archiving experiment results)."""
+        return {
+            "id": self.exp_id,
+            "title": self.title,
+            "tables": [
+                {"title": t.title, "headers": list(t.headers),
+                 "rows": [[_jsonable(c) for c in row] for row in t.rows]}
+                for t in self.tables
+            ],
+            "comparisons": [
+                {"quantity": c.quantity, "paper": c.paper,
+                 "measured": c.measured, "rel_error": c.rel_error,
+                 "ok": c.ok}
+                for c in self.comparisons
+            ],
+            "findings": list(self.findings),
+            "all_ok": self.all_ok,
+        }
+
+    def save(self, path) -> None:
+        """Write the experiment record as JSON."""
+        import json
+        import pathlib
+
+        out = pathlib.Path(path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(self.to_dict(), indent=2))
+
+
+def _jsonable(value):
+    """Coerce table cells (numpy scalars etc.) into JSON-safe values."""
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    if hasattr(value, "item"):
+        return value.item()
+    return str(value)
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean (speedup aggregation)."""
+    if not values:
+        raise ValueError("empty sequence")
+    product = 1.0
+    for v in values:
+        if v <= 0:
+            raise ValueError(f"geometric mean needs positive values, got {v}")
+        product *= v
+    return product ** (1.0 / len(values))

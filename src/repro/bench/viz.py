@@ -1,0 +1,78 @@
+"""ASCII chart rendering for benchmark output.
+
+The experiment harness prints its tables to the terminal; these helpers
+add small ASCII line/bar charts so scaling *shapes* (the thing the
+reproduction asserts) are visible at a glance in
+``pytest benchmarks/ -s`` output.  Pure stdlib — no plotting deps.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+_BAR_CHARS = "▏▎▍▌▋▊▉█"
+
+
+def bar_chart(labels: Sequence[object], values: Sequence[float],
+              width: int = 40, title: str | None = None,
+              fmt: str = "{:.3g}") -> str:
+    """Horizontal bar chart, one row per (label, value)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not values:
+        return title or ""
+    peak = max(values)
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(str(l)) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        filled = value / peak * width
+        whole = int(filled)
+        frac = filled - whole
+        bar = "█" * whole
+        if frac > 0.05 and whole < width:
+            bar += _BAR_CHARS[min(int(frac * 8), 7)]
+        lines.append(f"{str(label):>{label_width}} |{bar:<{width}} "
+                     f"{fmt.format(value)}")
+    return "\n".join(lines)
+
+
+def line_chart(xs: Sequence[object], ys: Sequence[float], height: int = 10,
+               title: str | None = None, y_label: str = "") -> str:
+    """Column-per-point ASCII line chart (monotone x assumed)."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if not ys:
+        return title or ""
+    lo, hi = min(ys), max(ys)
+    span = (hi - lo) or 1.0
+    rows = []
+    for level in range(height, -1, -1):
+        threshold = lo + span * level / height
+        cells = []
+        for y in ys:
+            # Mark the point whose quantized level matches this row.
+            point_level = round((y - lo) / span * height)
+            cells.append("●" if point_level == level else " ")
+        axis = f"{threshold:>8.3g} |" if level in (0, height) \
+            else " " * 8 + " |"
+        rows.append(axis + "  ".join(cells))
+    footer = " " * 10 + "  ".join(f"{str(x):>1}" for x in xs)
+    lines = [title] if title else []
+    if y_label:
+        lines.append(y_label)
+    lines.extend(rows)
+    lines.append(footer)
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line trend: ▁▂▃▄▅▆▇█."""
+    blocks = "▁▂▃▄▅▆▇█"
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    return "".join(blocks[min(int((v - lo) / span * 8), 7)]
+                   for v in values)

@@ -1,0 +1,254 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``asm``      assemble a .s file to a hex word listing
+``disasm``   disassemble a hex word listing
+``run``      run a program on the cycle-accurate simulator
+``info``     machine configuration, resource usage, device fit
+``isa``      print the instruction-set reference
+
+Examples::
+
+    python -m repro run program.s --pes 64 --threads 16 --trace
+    python -m repro info --pes 16 --width 8 --device EP2C35
+    python -m repro asm kernel.s -o kernel.hex
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.asm.assembler import AsmError, assemble
+from repro.asm.disassembler import disassemble, format_instruction
+from repro.core.config import (
+    BranchPolicy,
+    MTMode,
+    MultiplierKind,
+    ProcessorConfig,
+    SchedulerPolicy,
+)
+from repro.core.processor import Processor, SimulationError
+from repro.core.trace import render_trace
+from repro.isa.encoding import DecodeError, decode
+from repro.isa.opcodes import OPCODES
+from repro.util.tables import format_table
+
+
+def _add_machine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--pes", type=int, default=16,
+                        help="number of processing elements (default 16)")
+    parser.add_argument("--threads", type=int, default=16,
+                        help="hardware thread contexts (default 16)")
+    parser.add_argument("--width", type=int, default=8,
+                        choices=(8, 16, 32), help="word width in bits")
+    parser.add_argument("--arity", type=int, default=2,
+                        help="broadcast tree arity (default 2)")
+    parser.add_argument("--mt", default=None,
+                        choices=[m.value for m in MTMode],
+                        help="multithreading mode (default: fine, or "
+                             "single when --threads 1)")
+    parser.add_argument("--scheduler", default="rotating",
+                        choices=[s.value for s in SchedulerPolicy])
+    parser.add_argument("--no-pipelined-broadcast", action="store_true",
+                        help="model an unpipelined broadcast network")
+    parser.add_argument("--no-pipelined-reduction", action="store_true",
+                        help="model the legacy blocking reduction network")
+    parser.add_argument("--model-fetch", action="store_true",
+                        help="model finite fetch bandwidth and buffers")
+
+
+def _config_from_args(args: argparse.Namespace) -> ProcessorConfig:
+    mt = args.mt
+    if mt is None:
+        mt = "single" if args.threads == 1 else "fine"
+    return ProcessorConfig(
+        num_pes=args.pes,
+        num_threads=args.threads,
+        word_width=args.width,
+        broadcast_arity=args.arity,
+        mt_mode=MTMode(mt),
+        scheduler=SchedulerPolicy(args.scheduler),
+        pipelined_broadcast=not args.no_pipelined_broadcast,
+        pipelined_reduction=not args.no_pipelined_reduction,
+        model_fetch=args.model_fetch,
+    )
+
+
+def cmd_asm(args: argparse.Namespace) -> int:
+    source = open(args.file).read()
+    try:
+        program = assemble(source, word_width=args.width)
+    except AsmError as exc:
+        print(f"assembly error: {exc}", file=sys.stderr)
+        return 1
+    lines = [f"{word:08x}" for word in program.encode()]
+    text = "\n".join(lines) + "\n"
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"{len(lines)} instructions -> {args.output}")
+    else:
+        sys.stdout.write(text)
+    if args.list:
+        print(disassemble(program.encode()))
+    return 0
+
+
+def cmd_disasm(args: argparse.Namespace) -> int:
+    words = []
+    for lineno, line in enumerate(open(args.file), start=1):
+        line = line.split("#")[0].strip()
+        if not line:
+            continue
+        try:
+            words.append(int(line, 16))
+        except ValueError:
+            print(f"line {lineno}: not a hex word: {line!r}",
+                  file=sys.stderr)
+            return 1
+    try:
+        print(disassemble(words))
+    except DecodeError as exc:
+        print(f"decode error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    cfg = _config_from_args(args)
+    source = open(args.file).read()
+    try:
+        program = assemble(source, word_width=cfg.word_width)
+    except AsmError as exc:
+        print(f"assembly error: {exc}", file=sys.stderr)
+        return 1
+    proc = Processor(cfg, trace=args.trace)
+    proc.load(program)
+    for spec in args.lmem or []:
+        col_text, _, values_text = spec.partition("=")
+        values = [int(v, 0) for v in values_text.split(",") if v]
+        import numpy as np
+
+        padded = np.zeros(cfg.num_pes, dtype=np.int64)
+        padded[:min(len(values), cfg.num_pes)] = \
+            values[:cfg.num_pes]
+        proc.pe.set_lmem_column(int(col_text), padded)
+    try:
+        result = proc.run(max_cycles=args.max_cycles)
+    except SimulationError as exc:
+        print(f"simulation error: {exc}", file=sys.stderr)
+        return 1
+
+    print(f"machine: {cfg.describe()}")
+    print(result.stats.render())
+    print()
+    rows = [(f"s{i}", result.scalar(i)) for i in range(16)
+            if result.scalar(i)]
+    if rows:
+        print(format_table(("register", "value"), rows,
+                           title="non-zero scalar registers (thread 0)"))
+    if args.trace:
+        print()
+        print(render_trace(result.trace, cfg,
+                           show_thread=cfg.num_threads > 1))
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    from repro.fpga.devices import device_by_name
+    from repro.fpga.fitter import max_pes
+    from repro.fpga.resource_model import table1
+    from repro.fpga.timing_model import fmax_mhz
+
+    cfg = _config_from_args(args)
+    print(f"machine: {cfg.describe()}")
+    print(f"estimated clock: {fmax_mhz(cfg):.1f} MHz")
+    print()
+    rows = [(r.name, r.logic_elements, r.ram_blocks) for r in table1(cfg)]
+    print(format_table(("component", "LEs", "RAM blocks"), rows,
+                       title="modeled resource usage"))
+    if args.device:
+        try:
+            device = device_by_name(args.device)
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            return 1
+        fit = max_pes(device, cfg)
+        print()
+        print(f"{device.name}: up to {fit.max_pes} PEs "
+              f"(limited by {fit.limiting_resource}; "
+              f"LE {fit.logic_utilization:.0%}, "
+              f"RAM {fit.ram_utilization:.0%})")
+    return 0
+
+
+def cmd_isa(args: argparse.Namespace) -> int:
+    rows = []
+    for name in sorted(OPCODES):
+        spec = OPCODES[name]
+        operands = ", ".join(
+            {"sreg": "sN", "preg": "pN", "freg": "fN", "imm": "imm",
+             "regidx": "idx", "target": "label", "mem_s": "imm(sN)",
+             "mem_p": "imm(pN)"}[kind]
+            for kind, _ in spec.operands)
+        mask = "[fM]" if spec.masked else ""
+        rows.append((name, spec.exec_class.value, operands, mask,
+                     spec.reduction_unit or ""))
+    print(format_table(
+        ("mnemonic", "class", "operands", "mask", "unit"), rows,
+        title=f"KASC-MT instruction set ({len(rows)} instructions)"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multithreaded ASC Processor simulator "
+                    "(Schaffer & Walker, IPDPS 2007)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_asm = sub.add_parser("asm", help="assemble a source file")
+    p_asm.add_argument("file")
+    p_asm.add_argument("-o", "--output", help="hex output path")
+    p_asm.add_argument("--width", type=int, default=8, choices=(8, 16, 32))
+    p_asm.add_argument("--list", action="store_true",
+                       help="also print a disassembly listing")
+    p_asm.set_defaults(func=cmd_asm)
+
+    p_dis = sub.add_parser("disasm", help="disassemble a hex word file")
+    p_dis.add_argument("file")
+    p_dis.set_defaults(func=cmd_disasm)
+
+    p_run = sub.add_parser("run", help="run a program")
+    p_run.add_argument("file")
+    _add_machine_args(p_run)
+    p_run.add_argument("--trace", action="store_true",
+                       help="print the pipeline stage chart")
+    p_run.add_argument("--max-cycles", type=int, default=None)
+    p_run.add_argument("--lmem", action="append", metavar="COL=V1,V2,...",
+                       help="initialize a PE local-memory column")
+    p_run.set_defaults(func=cmd_run)
+
+    p_info = sub.add_parser("info", help="machine/resource summary")
+    _add_machine_args(p_info)
+    p_info.add_argument("--device", help="fit onto this FPGA (e.g. EP2C35)")
+    p_info.set_defaults(func=cmd_info)
+
+    p_isa = sub.add_parser("isa", help="print the instruction reference")
+    p_isa.set_defaults(func=cmd_isa)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:   # e.g. `repro isa | head`
+        return 0
+
+
+if __name__ == "__main__":   # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Cycle-accurate Multithreaded ASC Processor core."""
+
+from repro.core.config import (
+    BranchPolicy,
+    DividerKind,
+    MTMode,
+    MultiplierKind,
+    ProcessorConfig,
+    SchedulerPolicy,
+)
+from repro.core.processor import (
+    IssueRecord,
+    Processor,
+    RunResult,
+    SimulationError,
+    run_program,
+)
+from repro.core.stats import Stats
+from repro.core.thread import ThreadContext, ThreadState, ThreadStatusTable
+from repro.core.trace import hazard_distance, pipeline_paths, render_trace
+from repro.core.control_unit import (
+    CONTROL_UNIT_EDGES,
+    Component,
+    control_unit_components,
+    render_control_unit,
+)
+from repro.core.debugger import Debugger, DebuggerError, ThreadView
+from repro.core.vcd import build_vcd, write_vcd
+from repro.core import timing
+
+__all__ = [
+    "BranchPolicy",
+    "DividerKind",
+    "MTMode",
+    "MultiplierKind",
+    "ProcessorConfig",
+    "SchedulerPolicy",
+    "IssueRecord",
+    "Processor",
+    "RunResult",
+    "SimulationError",
+    "run_program",
+    "Stats",
+    "ThreadContext",
+    "ThreadState",
+    "ThreadStatusTable",
+    "hazard_distance",
+    "pipeline_paths",
+    "render_trace",
+    "CONTROL_UNIT_EDGES",
+    "Component",
+    "control_unit_components",
+    "render_control_unit",
+    "build_vcd",
+    "write_vcd",
+    "Debugger",
+    "DebuggerError",
+    "ThreadView",
+    "timing",
+]

@@ -1,0 +1,166 @@
+"""Processor configuration.
+
+One :class:`ProcessorConfig` describes a complete machine instance — the
+multithreaded prototype of the paper by default, and, through its knobs,
+the predecessor/baseline machines and every ablation in the benchmark
+suite (see DESIGN.md experiment index).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.network.tree import broadcast_latency, reduction_latency
+from repro.util.bitops import SUPPORTED_WIDTHS
+
+
+class MTMode(enum.Enum):
+    """Hardware multithreading discipline (paper Section 5)."""
+
+    SINGLE = "single"    # one hardware thread context, no multithreading
+    FINE = "fine"        # fine-grain: switch threads every cycle (the paper's choice)
+    COARSE = "coarse"    # coarse-grain: switch only on long-latency stalls
+    SMT2 = "smt2"        # extension: dual-issue, one scalar + one parallel/reduction port
+
+
+class BranchPolicy(enum.Enum):
+    """Front-end branch handling."""
+
+    STALL = "stall"                    # thread waits until the branch resolves in EX
+    PREDICT_NOT_TAKEN = "predict_not_taken"  # penalty only on taken branches
+
+
+class SchedulerPolicy(enum.Enum):
+    """Thread selection among ready threads."""
+
+    ROTATING = "rotating"  # rotating priority, "to ensure fairness" (Section 6.3)
+    FIXED = "fixed"        # always the lowest-numbered ready thread
+
+
+class MultiplierKind(enum.Enum):
+    """PE multiplier implementation (Section 6.2)."""
+
+    NONE = "none"              # pmul/pmuls/smul are illegal
+    PIPELINED = "pipelined"    # hard multiplier blocks: initiation 1/cycle
+    SEQUENTIAL = "sequential"  # shared, blocking, W cycles
+
+
+class DividerKind(enum.Enum):
+    """PE divider implementation (Section 6.2: sequential only, or absent)."""
+
+    NONE = "none"
+    SEQUENTIAL = "sequential"
+
+
+@dataclass
+class ProcessorConfig:
+    """Static machine parameters.
+
+    Defaults describe the synthesized prototype of Section 7: 16 PEs,
+    8-bit datapath, 1 KB (1024-word) local memory per PE, 16 hardware
+    thread contexts, fine-grain multithreading with a rotating-priority
+    scheduler, pipelined broadcast/reduction networks.
+    """
+
+    num_pes: int = 16
+    num_threads: int = 16
+    word_width: int = 8
+    lmem_words: int = 1024
+    scalar_mem_words: int = 4096
+
+    broadcast_arity: int = 2
+    # Legacy-machine switches: the 2005 pipelined ASC Processor has
+    # pipelined instruction execution but *unpipelined* broadcast and
+    # reduction networks (Section 3); these flags reproduce it.
+    pipelined_broadcast: bool = True
+    pipelined_reduction: bool = True
+
+    mt_mode: MTMode = MTMode.FINE
+    scheduler: SchedulerPolicy = SchedulerPolicy.ROTATING
+    branch_policy: BranchPolicy = BranchPolicy.STALL
+    coarse_switch_penalty: int = 3   # pipeline-flush cycles on a coarse switch
+    coarse_switch_threshold: int = 3  # minimum stall length that triggers a switch
+
+    multiplier: MultiplierKind = MultiplierKind.PIPELINED
+    divider: DividerKind = DividerKind.SEQUENTIAL
+
+    # Front-end model (Figure 3's fetch unit).  Off by default: the
+    # ideal front end is faithful for a single-issue machine whose fetch
+    # bandwidth matches its issue width; enabling it bounds instruction
+    # supply by fetch_width/cycle and per-thread buffer depth.
+    model_fetch: bool = False
+    fetch_width: int | None = None        # default: the issue width
+    fetch_buffer_depth: int = 2
+
+    max_cycles: int = 10_000_000
+
+    def __post_init__(self) -> None:
+        if self.word_width not in SUPPORTED_WIDTHS:
+            raise ValueError(
+                f"word_width must be one of {SUPPORTED_WIDTHS}, "
+                f"got {self.word_width}")
+        if self.num_pes < 1:
+            raise ValueError("num_pes must be >= 1")
+        if self.num_threads < 1:
+            raise ValueError("num_threads must be >= 1")
+        if self.mt_mode is MTMode.SINGLE and self.num_threads != 1:
+            raise ValueError(
+                "single-threaded mode requires num_threads == 1 "
+                f"(got {self.num_threads})")
+        if self.mt_mode is not MTMode.SINGLE and self.num_threads < 2:
+            raise ValueError(f"{self.mt_mode.value} multithreading needs "
+                             ">= 2 thread contexts")
+        if self.broadcast_arity < 2:
+            raise ValueError("broadcast_arity must be >= 2")
+        if self.lmem_words < 1 or self.scalar_mem_words < 1:
+            raise ValueError("memory sizes must be positive")
+        if self.coarse_switch_penalty < 0:
+            raise ValueError("coarse_switch_penalty must be >= 0")
+        if self.fetch_width is not None and self.fetch_width < 1:
+            raise ValueError("fetch_width must be >= 1")
+        if self.fetch_buffer_depth < 1:
+            raise ValueError("fetch_buffer_depth must be >= 1")
+        # Cache the derived network depths: they are consulted on every
+        # hazard check in the simulator's inner loop (profiled hot).
+        # Configurations are treated as immutable after construction;
+        # use dataclasses.replace() to derive variants.
+        self._broadcast_depth = (
+            1 if not self.pipelined_broadcast
+            else broadcast_latency(self.num_pes, self.broadcast_arity))
+        self._reduction_depth = (
+            1 if not self.pipelined_reduction
+            else reduction_latency(self.num_pes))
+
+    # -- derived network latencies (paper Section 4) -------------------------
+
+    @property
+    def broadcast_depth(self) -> int:
+        """Pipelined broadcast stages ``b = ceil(log_k p)``.
+
+        For an *unpipelined* broadcast network the instruction still
+        crosses the wires within a single (slow) clock, so the pipeline
+        sees one broadcast stage; the clock-rate cost appears in the FPGA
+        timing model, not here.
+        """
+        return self._broadcast_depth
+
+    @property
+    def reduction_depth(self) -> int:
+        """Pipelined reduction stages ``r = ceil(log2 p)`` (see above)."""
+        return self._reduction_depth
+
+    @property
+    def issue_width(self) -> int:
+        return 2 if self.mt_mode is MTMode.SMT2 else 1
+
+    @property
+    def effective_fetch_width(self) -> int:
+        return self.fetch_width if self.fetch_width is not None \
+            else self.issue_width
+
+    def describe(self) -> str:
+        """One-line summary used in benchmark headers."""
+        return (f"p={self.num_pes} T={self.num_threads} W={self.word_width} "
+                f"k={self.broadcast_arity} b={self.broadcast_depth} "
+                f"r={self.reduction_depth} mt={self.mt_mode.value}")

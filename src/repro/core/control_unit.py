@@ -1,0 +1,95 @@
+"""Structural description of the control unit (Figure 3).
+
+"The control unit is essentially a multithreaded scalar processor with a
+few additions to support parallel instructions.  The control unit
+consists of a fetch unit, a decode/issue unit, and a scalar datapath."
+(Section 6.3.)
+
+The cycle-accurate simulator folds these components into the issue logic
+of :mod:`repro.core.processor`; this module exposes their *structure* —
+the component inventory and connectivity of Figure 3 — so the Figure-3
+benchmark can regenerate the diagram from a live machine and the tests
+can assert replication factors (decode units per thread, shared
+scheduler, etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import MTMode, ProcessorConfig
+
+
+@dataclass(frozen=True)
+class Component:
+    """One block in the control-unit diagram."""
+
+    name: str
+    count: int           # replication factor (per-thread blocks replicate)
+    shared: bool         # shared between threads?
+    description: str
+
+
+def control_unit_components(cfg: ProcessorConfig) -> list[Component]:
+    """Component inventory of the control unit for this configuration."""
+    t = cfg.num_threads
+    return [
+        Component(
+            "fetch unit", 1, True,
+            "fetches instructions from the instruction memory into the "
+            "per-thread instruction buffers"),
+        Component(
+            "instruction buffer", t, False,
+            "per-thread buffer of fetched instructions"),
+        Component(
+            "thread status table", 1, True,
+            "per-thread PC, buffer occupancy and state; shared between "
+            "the fetch unit and the decode unit"),
+        Component(
+            "decode unit", t, False,
+            "replicated for each hardware thread so that instructions "
+            "from different threads can be decoded in parallel"),
+        Component(
+            "scheduler", 1, True,
+            f"{cfg.scheduler.value}-priority selection of a ready thread; "
+            f"issues to the scalar datapath or the PE array"
+            + (" (one instruction to each per cycle)"
+               if cfg.mt_mode is MTMode.SMT2 else "")),
+        Component(
+            "instruction status table", 1, True,
+            "tracks all instructions currently executing; used by the "
+            "decode unit to detect hazards"),
+        Component(
+            "scalar datapath", 1, True,
+            "executes scalar instructions; organization nearly identical "
+            "to the PEs, plus branch/fork/join handling"),
+    ]
+
+
+# Figure-3 connectivity: (source component, destination component).
+CONTROL_UNIT_EDGES: tuple[tuple[str, str], ...] = (
+    ("instruction memory", "fetch unit"),
+    ("fetch unit", "instruction buffer"),
+    ("fetch unit", "thread status table"),
+    ("thread status table", "decode unit"),
+    ("instruction buffer", "decode unit"),
+    ("decode unit", "scheduler"),
+    ("instruction status table", "decode unit"),
+    ("scheduler", "instruction status table"),
+    ("scheduler", "scalar datapath"),
+    ("scheduler", "broadcast network"),
+)
+
+
+def render_control_unit(cfg: ProcessorConfig) -> str:
+    """Text rendering of the Figure-3 organization for this config."""
+    lines = [f"Control unit organization ({cfg.describe()})", ""]
+    for comp in control_unit_components(cfg):
+        repl = "shared" if comp.shared else f"x{comp.count} (per thread)"
+        lines.append(f"  [{comp.name}] ({repl})")
+        lines.append(f"      {comp.description}")
+    lines.append("")
+    lines.append("  connectivity:")
+    for src, dst in CONTROL_UNIT_EDGES:
+        lines.append(f"    {src} -> {dst}")
+    return "\n".join(lines)

@@ -1,0 +1,317 @@
+"""Architectural execution semantics.
+
+The cycle-accurate core computes an instruction's *effects* once, at
+issue time (timing is enforced separately by the scoreboard — see
+DESIGN.md Section 5).  This module implements those effects for every
+opcode.  It is also reused verbatim by the functional backend in
+:mod:`repro.assoc`, so the timing model and the reference interpreter
+cannot drift apart.
+
+Scalar integer semantics intentionally mirror the vectorized PE ALU in
+:mod:`repro.pe.alu` (wrapping W-bit arithmetic, clamped shifts,
+truncating signed division with the all-ones div-by-zero result); the
+test suite cross-checks the two implementations property-wise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.thread import ThreadContext, ThreadState
+from repro.isa import registers
+from repro.isa.instruction import Instruction
+from repro.network import reduction as red
+from repro.pe.alu import CMP_OPS, FLAG_OPS, INT_OPS
+from repro.pe.pe_array import PEArray
+from repro.util.bitops import (
+    mask_for_width,
+    to_signed,
+    to_unsigned,
+)
+
+
+class ExecutionError(RuntimeError):
+    """Raised for illegal operations (e.g. pmul with no multiplier)."""
+
+
+# The control unit's PC/address path is wider than the data path.
+_PC_MASK = 0xFFFFFFFF
+
+
+@dataclass
+class ExecResult:
+    """Control-flow outcome of one executed instruction."""
+
+    next_pc: int
+    taken: bool = False     # control transfer actually redirected the PC
+    halt: bool = False
+    spawned: int | None = None
+
+
+# -- scalar integer helpers ---------------------------------------------------
+
+def _scalar_op(base: str, a: int, b: int, width: int) -> int:
+    """Run one base ALU op on scalars via the vectorized implementation.
+
+    Using the same code path as the PE ALU guarantees identical corner
+    semantics (shift clamping, division by zero, wrapping).
+    """
+    fn = INT_OPS[base]
+    return int(fn(np.array([a], dtype=np.int64),
+                  np.array([b], dtype=np.int64), width)[0])
+
+
+# Scalar mnemonic -> (base op, operand-B source: "rt" | "imm").
+_SCALAR_INT = {
+    "add": ("add", "rt"), "sub": ("sub", "rt"), "and": ("and", "rt"),
+    "or": ("or", "rt"), "xor": ("xor", "rt"), "nor": ("nor", "rt"),
+    "sll": ("sll", "rt"), "srl": ("srl", "rt"), "sra": ("sra", "rt"),
+    "slt": ("slt", "rt"), "sltu": ("sltu", "rt"),
+    "smul": ("mul", "rt"), "sdiv": ("div", "rt"),
+    "addi": ("add", "imm"), "andi": ("and", "imm"), "ori": ("or", "imm"),
+    "xori": ("xor", "imm"), "slti": ("slt", "imm"), "sltiu": ("sltu", "imm"),
+    "slli": ("sll", "imm"), "srli": ("srl", "imm"), "srai": ("sra", "imm"),
+}
+
+_BRANCHES = {
+    "beq": lambda a, b, w: to_unsigned(a, w) == to_unsigned(b, w),
+    "bne": lambda a, b, w: to_unsigned(a, w) != to_unsigned(b, w),
+    "blt": lambda a, b, w: to_signed(a, w) < to_signed(b, w),
+    "bge": lambda a, b, w: to_signed(a, w) >= to_signed(b, w),
+}
+
+# Parallel mnemonic -> (base op, B-source) where B-source is
+# "pt" (parallel reg), "st" (broadcast scalar reg) or "imm" (broadcast).
+_PARALLEL_INT = {}
+for _base in ("add", "sub", "and", "or", "xor", "nor", "sll", "srl", "sra",
+              "mul", "div"):
+    _PARALLEL_INT[f"p{_base}"] = (_base, "pt")
+    _PARALLEL_INT[f"p{_base}s"] = (_base, "st")
+for _base in ("add", "and", "or", "xor", "sll", "srl", "sra"):
+    _PARALLEL_INT[f"p{_base}i"] = (_base, "imm")
+
+_PARALLEL_CMP = {}
+for _base in ("ceq", "cne", "clt", "cle", "cltu", "cleu"):
+    _PARALLEL_CMP[f"p{_base}"] = (_base, "pt")
+    _PARALLEL_CMP[f"p{_base}s"] = (_base, "st")
+for _base in ("ceq", "cne", "clt", "cle"):
+    _PARALLEL_CMP[f"p{_base}i"] = (_base, "imm")
+
+
+class Executor:
+    """Executes instructions against machine state.
+
+    The executor owns no state of its own: it mutates the thread
+    contexts, PE array, and scalar memory it is given.  ``thread_table``
+    is consulted only by the thread-management instructions.
+    """
+
+    def __init__(self, pe_array: PEArray, scalar_memory, thread_table,
+                 word_width: int) -> None:
+        self.pe = pe_array
+        self.mem = scalar_memory
+        self.threads = thread_table
+        self.width = word_width
+        self.word_mask = mask_for_width(word_width)
+
+    # -- entry point -----------------------------------------------------------
+
+    def execute(self, instr: Instruction, thread: ThreadContext,
+                cycle: int = 0) -> ExecResult:
+        """Apply one instruction's effects; ``cycle`` is its issue cycle
+        (used only to timestamp newly spawned threads)."""
+        spec = instr.spec
+        if spec.exec_class.value == "scalar":
+            return self._exec_scalar(instr, thread, cycle)
+        if spec.exec_class.value == "parallel":
+            self._exec_parallel(instr, thread)
+        else:
+            self._exec_reduction(instr, thread)
+        return ExecResult(next_pc=thread.pc + 1)
+
+    # -- scalar path ------------------------------------------------------------
+
+    def _exec_scalar(self, instr: Instruction, thread: ThreadContext,
+                     cycle: int = 0) -> ExecResult:
+        m = instr.mnemonic
+        pc = thread.pc
+        nxt = pc + 1
+
+        if m in _SCALAR_INT:
+            base, bsrc = _SCALAR_INT[m]
+            a = thread.read_sreg(instr.rs)
+            b = thread.read_sreg(instr.rt) if bsrc == "rt" else instr.imm
+            thread.write_sreg(instr.rd, _scalar_op(base, a, b, self.width),
+                              self.word_mask)
+            return ExecResult(nxt)
+        if m == "lui":
+            thread.write_sreg(instr.rd, (instr.imm << 16) & self.word_mask,
+                              self.word_mask)
+            return ExecResult(nxt)
+        if m == "lw":
+            addr = thread.read_sreg(instr.rs) + instr.imm
+            thread.write_sreg(instr.rd, self.mem.load(addr), self.word_mask)
+            return ExecResult(nxt)
+        if m == "sw":
+            addr = thread.read_sreg(instr.rs) + instr.imm
+            self.mem.store(addr, thread.read_sreg(instr.rd))
+            return ExecResult(nxt)
+        if m in _BRANCHES:
+            a = thread.read_sreg(instr.rd)
+            b = thread.read_sreg(instr.rs)
+            if _BRANCHES[m](a, b, self.width):
+                return ExecResult(pc + 1 + instr.imm, taken=True)
+            return ExecResult(nxt, taken=False)
+        if m == "j":
+            return ExecResult(instr.target, taken=True)
+        if m == "jal":
+            # The link register holds a full-width PC: the control unit's
+            # address path is wider than the W-bit data path, exactly as
+            # in the FPGA prototype (8-bit PEs, >8-bit instruction
+            # addresses).
+            thread.write_sreg(registers.LINK_REG, nxt, _PC_MASK)
+            return ExecResult(instr.target, taken=True)
+        if m == "jr":
+            return ExecResult(thread.read_sreg(instr.rs), taken=True)
+        if m == "halt":
+            return ExecResult(nxt, halt=True)
+        if m == "tspawn":
+            # The child becomes fetchable the cycle after the spawn issues.
+            tid = self.threads.allocate(instr.imm, start_cycle=cycle + 1)
+            value = tid if tid is not None else self.word_mask
+            thread.write_sreg(instr.rd, value, self.word_mask)
+            return ExecResult(nxt, spawned=tid)
+        if m == "texit":
+            thread.state = ThreadState.EXITED
+            return ExecResult(nxt)
+        if m == "tput":
+            target = self.threads[thread.read_sreg(instr.rd)
+                                  % len(self.threads.contexts)]
+            target.write_sreg(instr.imm, thread.read_sreg(instr.rs),
+                              self.word_mask)
+            return ExecResult(nxt)
+        if m == "tget":
+            source = self.threads[thread.read_sreg(instr.rs)
+                                  % len(self.threads.contexts)]
+            thread.write_sreg(instr.rd, source.read_sreg(instr.imm),
+                              self.word_mask)
+            return ExecResult(nxt)
+        if m == "tjoin":
+            # Completion gating is handled by the issue logic; by the time
+            # this executes the target context is already free.
+            return ExecResult(nxt)
+        raise ExecutionError(f"unimplemented scalar mnemonic {m!r}")
+
+    # -- parallel path ------------------------------------------------------------
+
+    def _operand_b(self, instr: Instruction, thread: ThreadContext,
+                   bsrc: str) -> np.ndarray | int:
+        if bsrc == "pt":
+            return self.pe.read_reg(thread.tid, instr.rt)
+        if bsrc == "st":
+            return thread.read_sreg(instr.rt)
+        return to_unsigned(instr.imm, self.width)
+
+    def _mask(self, instr: Instruction, thread: ThreadContext) -> np.ndarray:
+        return self.pe.read_flag(thread.tid, instr.mf)
+
+    def _exec_parallel(self, instr: Instruction,
+                       thread: ThreadContext) -> None:
+        m = instr.mnemonic
+        tid = thread.tid
+
+        if m in _PARALLEL_INT:
+            base, bsrc = _PARALLEL_INT[m]
+            a = self.pe.read_reg(tid, instr.rs)
+            b = self._operand_b(instr, thread, bsrc)
+            b_vec = np.broadcast_to(np.int64(b), a.shape) if np.isscalar(b) else b
+            result = INT_OPS[base](a, b_vec, self.width)
+            self.pe.write_reg(tid, instr.rd, result, self._mask(instr, thread))
+            return
+        if m in _PARALLEL_CMP:
+            base, bsrc = _PARALLEL_CMP[m]
+            a = self.pe.read_reg(tid, instr.rs)
+            b = self._operand_b(instr, thread, bsrc)
+            b_vec = np.broadcast_to(np.int64(b), a.shape) if np.isscalar(b) else b
+            flags = CMP_OPS[base](a, b_vec, self.width)
+            self.pe.write_flag(tid, instr.rd, flags, self._mask(instr, thread))
+            return
+        if m == "pbcast":
+            value = np.broadcast_to(
+                np.int64(thread.read_sreg(instr.rs)), (self.pe.num_pes,))
+            self.pe.write_reg(tid, instr.rd, value, self._mask(instr, thread))
+            return
+        if m == "psel":
+            sel = self.pe.read_flag(tid, instr.mf)
+            a = self.pe.read_reg(tid, instr.rs)
+            b = self.pe.read_reg(tid, instr.rt)
+            result = np.where(sel, a, b)
+            self.pe.write_reg(tid, instr.rd, result,
+                              np.ones(self.pe.num_pes, dtype=bool))
+            return
+        if m == "plw":
+            mask = self._mask(instr, thread)
+            addr = self.pe.read_reg(tid, instr.rs) + instr.imm
+            values = self.pe.load(addr, mask)
+            self.pe.write_reg(tid, instr.rd, values, mask)
+            return
+        if m == "psw":
+            mask = self._mask(instr, thread)
+            addr = self.pe.read_reg(tid, instr.rs) + instr.imm
+            self.pe.store(addr, self.pe.read_reg(tid, instr.rd), mask)
+            return
+        if m in ("fand", "for", "fxor", "fandn"):
+            a = self.pe.read_flag(tid, instr.rs)
+            b = self.pe.read_flag(tid, instr.rt)
+            self.pe.write_flag(tid, instr.rd, FLAG_OPS[m](a, b),
+                               self._mask(instr, thread))
+            return
+        if m == "fnot":
+            a = self.pe.read_flag(tid, instr.rs)
+            self.pe.write_flag(tid, instr.rd, ~a, self._mask(instr, thread))
+            return
+        if m == "fmov":
+            a = self.pe.read_flag(tid, instr.rs)
+            self.pe.write_flag(tid, instr.rd, a, self._mask(instr, thread))
+            return
+        if m in ("fset", "fclr"):
+            value = np.full(self.pe.num_pes, m == "fset", dtype=bool)
+            self.pe.write_flag(tid, instr.rd, value,
+                               self._mask(instr, thread))
+            return
+        raise ExecutionError(f"unimplemented parallel mnemonic {m!r}")
+
+    # -- reduction path -------------------------------------------------------------
+
+    def _exec_reduction(self, instr: Instruction,
+                        thread: ThreadContext) -> None:
+        m = instr.mnemonic
+        tid = thread.tid
+        mask = self._mask(instr, thread)
+
+        if m in red.REDUCTION_FNS:
+            fn, _src = red.REDUCTION_FNS[m]
+            values = self.pe.read_reg(tid, instr.rs)
+            thread.write_sreg(instr.rd, fn(values, mask, self.width),
+                              self.word_mask)
+            return
+        if m == "rcount":
+            flags = self.pe.read_flag(tid, instr.rs)
+            thread.write_sreg(instr.rd, red.count_responders(flags, mask),
+                              self.word_mask)
+            return
+        if m == "rany":
+            flags = self.pe.read_flag(tid, instr.rs)
+            thread.write_sreg(instr.rd, red.any_responders(flags, mask),
+                              self.word_mask)
+            return
+        if m == "rfirst":
+            flags = self.pe.read_flag(tid, instr.rs)
+            first = red.resolve_first(flags, mask)
+            # The resolver output replaces the destination flag in every
+            # active PE (non-responders get 0).
+            self.pe.write_flag(tid, instr.rd, first, mask)
+            return
+        raise ExecutionError(f"unimplemented reduction mnemonic {m!r}")

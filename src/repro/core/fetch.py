@@ -1,0 +1,123 @@
+"""Fetch-unit model: finite fetch bandwidth + per-thread buffers.
+
+Figure 3's front end: "The fetch unit fetches instructions from the
+instruction cache/memory and places them in an instruction buffer. Each
+thread's instruction buffer, PC, and state are recorded in ... the
+thread status table."
+
+By default the simulator uses an *ideal* front end (instruction supply
+never limits issue; the single issue port is the bottleneck, which is
+faithful for a single-issue machine whose fetch bandwidth matches its
+issue width).  Enabling :attr:`ProcessorConfig.model_fetch` activates
+this unit: at most ``fetch_width`` instructions are fetched per cycle,
+round-robin over live threads with buffer space, each thread buffering
+at most ``fetch_buffer_depth`` undecoded instructions; an instruction
+may issue no earlier than the cycle after it was fetched, and control
+transfers squash the issuing thread's buffer.
+
+The observable effects are second-order for the paper's experiments
+(DESIGN.md §5), but the model lets the tests quantify exactly that —
+e.g. that a 2-deep buffer with single fetch suffices to keep a
+multithreaded machine's issue port saturated.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class FetchUnit:
+    """Round-robin instruction fetch into per-thread arrival queues.
+
+    Each buffer entry records the cycle the instruction arrived; an
+    entry fetched during cycle ``F`` is decodable during ``F + 1`` and
+    may therefore issue at ``F + 1`` or later.
+    """
+
+    def __init__(self, num_threads: int, fetch_width: int,
+                 buffer_depth: int) -> None:
+        if fetch_width < 1:
+            raise ValueError("fetch_width must be >= 1")
+        if buffer_depth < 1:
+            raise ValueError("fetch_buffer_depth must be >= 1")
+        self.num_threads = num_threads
+        self.fetch_width = fetch_width
+        self.buffer_depth = buffer_depth
+        self.buffers: list[deque[int]] = [deque()
+                                          for _ in range(num_threads)]
+        self._pointer = 0
+        self._fetched_through = 0   # fetch simulated for cycles < this
+        self.total_fetched = 0
+
+    # -- state transitions -------------------------------------------------------
+
+    def thread_started(self, tid: int, cycle: int) -> None:
+        """A context was (re)allocated at ``cycle``; buffer starts empty
+        and its first instruction cannot have been fetched earlier."""
+        self.buffers[tid] = deque()
+
+    def redirect(self, tid: int, refetch_cycle: int) -> None:
+        """Control transfer: squash the thread's buffered instructions.
+
+        Wrong-path entries vanish; the target-path fetch cannot happen
+        before ``refetch_cycle``, which the caller derives from the
+        resolution stage.  We model the refetch pessimism via the
+        caller's ``min_issue`` (the control bubble already covers it),
+        so here we only clear the buffer.
+        """
+        self.buffers[tid].clear()
+
+    def consume(self, tid: int) -> None:
+        """The scheduler issued this thread's oldest buffered instruction."""
+        buf = self.buffers[tid]
+        if buf:
+            buf.popleft()
+
+    # -- per-cycle fetch ------------------------------------------------------------
+
+    def advance_to(self, cycle: int, active_tids: list[int]) -> None:
+        """Simulate fetch for every cycle in ``[_fetched_through, cycle)``.
+
+        Called before scheduling each cycle; across skip-ahead gaps fetch
+        keeps running while issue is stalled, so buffers refill.
+        """
+        while self._fetched_through < cycle:
+            if all(len(self.buffers[t]) >= self.buffer_depth
+                   for t in active_tids):
+                # Every buffer full: further cycles fetch nothing.
+                self._fetched_through = cycle
+                break
+            self._fetch_one_cycle(self._fetched_through, active_tids)
+            self._fetched_through += 1
+
+    def _fetch_one_cycle(self, cycle: int, active_tids: list[int]) -> None:
+        if not active_tids:
+            return
+        slots = self.fetch_width
+        n = len(active_tids)
+        start = self._pointer
+        for i in range(n):
+            if slots == 0:
+                break
+            tid = active_tids[(start + i) % n]
+            buf = self.buffers[tid]
+            if len(buf) < self.buffer_depth:
+                buf.append(cycle)
+                self.total_fetched += 1
+                slots -= 1
+                self._pointer = (start + i + 1) % n
+
+    # -- queries -----------------------------------------------------------------------
+
+    def earliest_issue(self, tid: int, cycle: int) -> int:
+        """Earliest cycle >= ``cycle`` the thread's next instruction may
+        issue, given fetch state simulated through ``cycle``."""
+        buf = self.buffers[tid]
+        if buf:
+            return max(cycle, buf[0] + 1)
+        # Nothing buffered: the soonest possible fetch is during this
+        # cycle, making the instruction issuable next cycle.
+        return cycle + 1
+
+    def buffered(self, tid: int) -> int:
+        return len(self.buffers[tid])

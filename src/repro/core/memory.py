@@ -1,0 +1,54 @@
+"""Control-unit scalar data memory.
+
+Word-addressed, single-cycle access in the MA stage (the prototype keeps
+all data on-chip; off-chip memory is future work in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.util.bitops import mask_for_width
+
+
+class ScalarMemoryFault(RuntimeError):
+    """Raised on an out-of-range scalar memory access."""
+
+
+class ScalarMemory:
+    """Word-addressed scalar RAM with W-bit storage."""
+
+    def __init__(self, words: int, word_width: int) -> None:
+        self.words = words
+        self.word_mask = mask_for_width(word_width)
+        self._mem = [0] * words
+
+    def _check(self, addr: int, what: str) -> None:
+        if not 0 <= addr < self.words:
+            raise ScalarMemoryFault(
+                f"scalar {what} address {addr} out of range "
+                f"(memory has {self.words} words)")
+
+    def load(self, addr: int) -> int:
+        self._check(addr, "load")
+        return self._mem[addr]
+
+    def store(self, addr: int, value: int) -> None:
+        self._check(addr, "store")
+        self._mem[addr] = value & self.word_mask
+
+    def load_image(self, data: list[int], base: int = 0) -> None:
+        """Copy an assembled program's ``.data`` section into memory."""
+        if base < 0 or base + len(data) > self.words:
+            raise ScalarMemoryFault(
+                f"data image of {len(data)} words at base {base} does not "
+                f"fit in {self.words}-word memory")
+        for i, value in enumerate(data):
+            self._mem[base + i] = value & self.word_mask
+
+    def dump(self, base: int, count: int) -> list[int]:
+        self._check(base, "dump")
+        if count < 0 or base + count > self.words:
+            raise ScalarMemoryFault("dump range out of bounds")
+        return self._mem[base:base + count]
+
+    def reset(self) -> None:
+        self._mem = [0] * self.words

@@ -1,0 +1,420 @@
+"""The Multithreaded ASC Processor: cycle-accurate top level.
+
+Wires together the control unit's components (thread status table,
+per-thread scoreboards, scheduler), the PE array, and the
+broadcast/reduction network timing model, and runs assembled programs.
+
+Timing discipline (DESIGN.md Section 5): instruction *effects* are applied
+at issue, in program order per thread; *cycle* behaviour is enforced by
+per-register ready times (forwarding-aware), structural busy windows for
+the sequential units, and control-resolution delays.  Because issue is
+in-order and the scoreboard blocks issue until every source is
+forwardable, reading architectural state at issue yields exactly the
+values the real pipeline would forward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.asm.program import Program
+from repro.core.config import (
+    DividerKind,
+    MTMode,
+    MultiplierKind,
+    ProcessorConfig,
+)
+from repro.core import stats as st
+from repro.core.execute import ExecutionError, Executor
+from repro.core.fetch import FetchUnit
+from repro.core.memory import ScalarMemory
+from repro.core.scheduler import ThreadScheduler
+from repro.core.stats import Stats
+from repro.core.thread import ThreadContext, ThreadState, ThreadStatusTable
+from repro.core import timing
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import ExecClass
+from repro.pe.pe_array import PEArray
+from repro.pe.seq_units import (
+    SequentialUnit,
+    sequential_div_latency,
+    sequential_mul_latency,
+)
+
+
+class SimulationError(RuntimeError):
+    """Deadlock, runaway execution, or an illegal program."""
+
+
+@dataclass
+class IssueRecord:
+    """One issued instruction, for pipeline traces and debugging."""
+
+    cycle: int
+    thread: int
+    pc: int
+    instr: Instruction
+    fetch_cycle: int      # when the instruction could first have issued - 1
+
+
+@dataclass
+class RunResult:
+    """Outcome of one program run."""
+
+    stats: Stats
+    processor: "Processor"
+    trace: list[IssueRecord] = field(default_factory=list)
+    paused: bool = False
+
+    # Convenience accessors used throughout tests/examples/benchmarks.
+
+    def scalar(self, reg: int, thread: int = 0) -> int:
+        return self.processor.threads[thread].read_sreg(reg)
+
+    def pe_reg(self, reg: int, thread: int = 0) -> np.ndarray:
+        return self.processor.pe.read_reg(thread, reg).copy()
+
+    def pe_flag(self, flag: int, thread: int = 0) -> np.ndarray:
+        return self.processor.pe.read_flag(thread, flag).copy()
+
+    def memory(self, base: int, count: int) -> list[int]:
+        return self.processor.mem.dump(base, count)
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+
+class Processor:
+    """One configured machine instance.  Reusable across programs."""
+
+    def __init__(self, config: ProcessorConfig | None = None,
+                 trace: bool = False) -> None:
+        self.cfg = config or ProcessorConfig()
+        cfg = self.cfg
+        self.pe = PEArray(cfg.num_pes, cfg.num_threads, cfg.word_width,
+                          cfg.lmem_words)
+        self.mem = ScalarMemory(cfg.scalar_mem_words, cfg.word_width)
+        self.threads = ThreadStatusTable(cfg.num_threads)
+        self.executor = Executor(self.pe, self.mem, self.threads,
+                                 cfg.word_width)
+        self.scheduler = ThreadScheduler(cfg)
+        self.trace_enabled = trace
+        self.program: Program | None = None
+        self.stats = Stats()
+        self.trace: list[IssueRecord] = []
+        self.halted = False
+        self.paused = False
+        self._cycle = 0
+        self.fetch: FetchUnit | None = None
+        # Structural units (shared machine-wide; the PE array is lockstep).
+        self.units: dict[str, SequentialUnit] = {}
+        if cfg.multiplier is MultiplierKind.SEQUENTIAL:
+            self.units["mul"] = SequentialUnit(
+                "sequential multiplier", sequential_mul_latency(cfg.word_width))
+        if cfg.divider is DividerKind.SEQUENTIAL:
+            self.units["div"] = SequentialUnit(
+                "sequential divider", sequential_div_latency(cfg.word_width))
+        if not cfg.pipelined_reduction:
+            # Legacy unpipelined network: one reduction at a time.
+            self.units["reduction"] = SequentialUnit(
+                "unpipelined reduction network", 1)
+
+    # -- program loading --------------------------------------------------------
+
+    def load(self, program: Program) -> None:
+        """Load a program and reset all machine state."""
+        self.program = program
+        self.reset()
+
+    def reset(self) -> None:
+        """Reset architectural and microarchitectural state."""
+        self.pe.reset()
+        self.mem.reset()
+        if self.program is not None:
+            self.mem.load_image(self.program.data)
+        self.threads = ThreadStatusTable(self.cfg.num_threads)
+        self.executor = Executor(self.pe, self.mem, self.threads,
+                                 self.cfg.word_width)
+        self.scheduler.reset()
+        for unit in self.units.values():
+            unit.reset()
+        self.stats = Stats()
+        self.trace = []
+        self.halted = False
+        self.paused = False
+        self._cycle = 1   # first instruction is fetched at 0, issues at 1
+        self.fetch = (FetchUnit(self.cfg.num_threads,
+                                self.cfg.effective_fetch_width,
+                                self.cfg.fetch_buffer_depth)
+                      if self.cfg.model_fetch else None)
+        if self.program is not None:
+            tid = self.threads.allocate(self.program.entry, start_cycle=1)
+            assert tid == 0
+            if self.fetch is not None:
+                self.fetch.thread_started(tid, 0)
+
+    # -- hazard / readiness evaluation ------------------------------------------
+
+    def _structural_unit(self, spec) -> SequentialUnit | None:
+        if spec.is_mul and "mul" in self.units:
+            return self.units["mul"]
+        if spec.is_div and "div" in self.units:
+            return self.units["div"]
+        if (spec.exec_class is ExecClass.REDUCTION
+                and "reduction" in self.units):
+            return self.units["reduction"]
+        return None
+
+    def _ready_cycle(self, thread: ThreadContext,
+                     cycle: int) -> tuple[int, str | None, int]:
+        """(earliest issue cycle, binding wait cause, base cycle) for the
+        thread's next instruction."""
+        assert self.program is not None
+        instr = self.program.instructions[thread.pc]
+        spec = instr.spec
+        cfg = self.cfg
+        base = max(thread.min_issue, thread.last_issue + 1)
+        if self.fetch is not None:
+            base = max(base, self.fetch.earliest_issue(thread.tid, cycle))
+        ready = base
+        cause: str | None = None
+
+        p_off = timing.parallel_read_offset(cfg)
+        for regfile, idx in instr.src_regs():
+            entry = thread.score[regfile].get(idx)
+            if entry is None:
+                continue
+            read_off = timing.SCALAR_READ_OFFSET if regfile == "s" else p_off
+            need = entry.result_cycle + 1 - read_off
+            if need > ready:
+                ready = need
+                cause = timing.classify_raw(entry.producer, spec)
+
+        dest = instr.dest_reg()
+        if dest is not None:
+            regfile, idx = dest
+            entry = thread.score[regfile].get(idx)
+            if entry is not None:
+                wb_off = timing.writeback_offset(spec, cfg)
+                if wb_off is not None:
+                    need = entry.writeback_cycle + 1 - wb_off
+                    if need > ready:
+                        ready = need
+                        cause = st.STALL_WAW
+
+        unit = self._structural_unit(spec)
+        if unit is not None and unit.busy_until > ready:
+            ready = unit.busy_until
+            cause = st.STALL_STRUCTURAL
+
+        return ready, cause, base
+
+    def _unit_occupancy(self, spec) -> int:
+        """Cycles a structural unit stays busy for this instruction."""
+        cfg = self.cfg
+        if spec.exec_class is ExecClass.REDUCTION:
+            return timing.reduction_compute_cycles(spec, cfg)
+        if spec.is_mul:
+            return sequential_mul_latency(cfg.word_width)
+        return sequential_div_latency(cfg.word_width)
+
+    # -- issue -------------------------------------------------------------------
+
+    def _issue(self, thread: ThreadContext, cycle: int, base: int,
+               cause: str | None) -> bool:
+        """Issue the thread's next instruction; returns False if the
+        instruction turned out to block (tjoin on a live thread)."""
+        assert self.program is not None
+        instr = self.program.instructions[thread.pc]
+        spec = instr.spec
+        cfg = self.cfg
+
+        # tjoin gates at issue: the joining thread sleeps until the target
+        # context is released, then the join completes as a plain issue.
+        if spec.is_thread_op and spec.mnemonic == "tjoin":
+            target = self.threads[
+                thread.read_sreg(instr.rs) % cfg.num_threads]
+            if target.state is not ThreadState.FREE:
+                thread.state = ThreadState.JOINING
+                thread.join_target = target.tid
+                return False
+
+        if ((spec.is_mul and cfg.multiplier is MultiplierKind.NONE)
+                or (spec.is_div and cfg.divider is DividerKind.NONE)):
+            raise SimulationError(
+                f"{spec.mnemonic} needs a {'multiplier' if spec.is_mul else 'divider'}"
+                f" but none is configured, at {self.program.location_of(thread.pc)}")
+
+        if cause is not None and cycle > base:
+            self.stats.wait_cycles[cause] += cycle - base
+
+        pc = thread.pc
+        try:
+            outcome = self.executor.execute(instr, thread, cycle)
+        except ExecutionError as exc:
+            raise SimulationError(
+                f"{exc} at {self.program.location_of(pc)}") from exc
+
+        # Structural occupancy.
+        unit = self._structural_unit(spec)
+        if unit is not None:
+            unit.latency = self._unit_occupancy(spec)
+            unit.occupy(cycle)
+
+        # Scoreboard updates for the destination register.
+        roff = timing.result_offset(spec, cfg)
+        dest = instr.dest_reg()
+        if dest is not None and roff is not None:
+            wboff = timing.writeback_offset(spec, cfg)
+            thread.note_write(dest[0], dest[1], cycle + roff,
+                              cycle + (wboff or roff + 1), spec)
+        if spec.mnemonic == "tput":
+            target = self.threads[
+                thread.read_sreg(instr.rd) % cfg.num_threads]
+            target.note_write("s", instr.imm, cycle + 2, cycle + 3, spec)
+
+        # Control flow and thread state.
+        resolve = timing.control_resolve_offset(spec, cfg, outcome.taken)
+        thread.min_issue = cycle + resolve
+        if resolve > 1:
+            self.stats.wait_cycles[st.STALL_CONTROL] += resolve - 1
+        if self.fetch is not None:
+            self.fetch.consume(thread.tid)
+            if resolve > 1:
+                # Squash wrong-path/sequential entries; the refetch delay
+                # is covered by min_issue (the control bubble).
+                self.fetch.redirect(thread.tid, cycle + resolve - 1)
+        thread.pc = outcome.next_pc
+        thread.last_issue = cycle
+        thread.instructions_issued += 1
+        thread.prune_score(cycle)
+
+        if outcome.halt:
+            self.halted = True
+        if thread.state is ThreadState.EXITED:
+            self.threads.release(thread.tid)
+            self._wake_joiners(thread.tid, cycle)
+        if outcome.spawned is not None:
+            self.stats.threads_spawned += 1
+            if self.fetch is not None:
+                self.fetch.thread_started(outcome.spawned, cycle)
+
+        # Statistics and trace.
+        self.stats.count_issue(thread.tid, spec.exec_class.value)
+        if spec.reduction_unit:
+            self.stats.reduction_unit_uses[spec.reduction_unit] += 1
+        if self.trace_enabled:
+            self.trace.append(IssueRecord(cycle, thread.tid, pc, instr,
+                                          fetch_cycle=base - 1))
+        return True
+
+    def _wake_joiners(self, exited_tid: int, cycle: int) -> None:
+        for ctx in self.threads:
+            if (ctx.state is ThreadState.JOINING
+                    and ctx.join_target == exited_tid):
+                ctx.state = ThreadState.RUNNABLE
+                ctx.join_target = None
+                ctx.min_issue = max(ctx.min_issue, cycle + 1)
+                self.stats.wait_cycles[st.STALL_JOIN] += 1
+
+    # -- main loop ------------------------------------------------------------------
+
+    def run(self, program: Program | None = None,
+            max_cycles: int | None = None,
+            stop_when=None) -> RunResult:
+        """Run to completion (halt or all threads exited).
+
+        ``stop_when(processor, cycle)`` — evaluated once per scheduling
+        round — pauses the run cleanly when it returns True; the
+        returned result has ``paused=True`` and a later ``run()`` call
+        resumes from the same cycle.  Used by
+        :class:`repro.core.debugger.Debugger`.
+        """
+        if program is not None:
+            self.load(program)
+        if self.program is None:
+            raise SimulationError("no program loaded")
+        limit = max_cycles if max_cycles is not None else self.cfg.max_cycles
+        width = self.cfg.issue_width
+        cycle = self._cycle
+        self.paused = False
+
+        while not self.halted:
+            if stop_when is not None and stop_when(self, cycle):
+                self.paused = True
+                break
+            live = self.threads.live_threads()
+            if not live:
+                break
+            if cycle > limit:
+                raise SimulationError(
+                    f"exceeded max_cycles={limit}; "
+                    f"live threads at {[t.pc for t in live]}")
+
+            if self.fetch is not None:
+                self.fetch.advance_to(
+                    cycle, [t.tid for t in live
+                            if t.state is ThreadState.RUNNABLE])
+
+            ready_of: dict[int, int] = {}
+            candidates: list[ThreadContext] = []
+            info: dict[int, tuple[int, str | None, int]] = {}
+            next_ready = None
+            for thread in live:
+                if thread.state is not ThreadState.RUNNABLE:
+                    continue
+                rc, cause, base = self._ready_cycle(thread, cycle)
+                ready_of[thread.tid] = rc
+                info[thread.tid] = (rc, cause, base)
+                if rc <= cycle:
+                    candidates.append(thread)
+                elif next_ready is None or rc < next_ready:
+                    next_ready = rc
+
+            if not candidates:
+                if next_ready is None:
+                    joining = [t.tid for t in live
+                               if t.state is ThreadState.JOINING]
+                    raise SimulationError(
+                        f"deadlock: threads {joining} blocked in tjoin "
+                        f"with no runnable thread")
+                skip_to = max(next_ready,
+                              self.scheduler.switch_until, cycle + 1)
+                self.stats.idle_slots += (skip_to - cycle) * width
+                cycle = skip_to
+                continue
+
+            chosen = self.scheduler.select(candidates, cycle, ready_of,
+                                           self.program)
+            issued = 0
+            for thread in chosen:
+                _, cause, base = info[thread.tid]
+                if self._issue(thread, cycle, base, cause):
+                    issued += 1
+                if self.halted:
+                    break
+            self.stats.idle_slots += width - issued
+            cycle += 1
+
+        self._cycle = cycle
+        self.stats.cycles = cycle - 1
+        self.stats.issue_slots = self.stats.cycles * width
+        return RunResult(self.stats, self, self.trace, paused=self.paused)
+
+
+def run_program(source_or_program, config: ProcessorConfig | None = None,
+                trace: bool = False, **asm_kwargs) -> RunResult:
+    """Assemble (if needed) and run a program on a fresh processor."""
+    from repro.asm.assembler import assemble
+
+    cfg = config or ProcessorConfig()
+    if isinstance(source_or_program, str):
+        program = assemble(source_or_program, word_width=cfg.word_width,
+                           **asm_kwargs)
+    else:
+        program = source_or_program
+    proc = Processor(cfg, trace=trace)
+    return proc.run(program)

@@ -1,0 +1,119 @@
+"""Hardware thread contexts and the thread status table.
+
+"Each thread's instruction buffer, PC, and state are recorded in a data
+structure called the thread status table, which is shared between the
+fetch unit and the decode unit." (Section 6.3.)
+
+Machine state is replicated per thread (Section 6): each context owns a
+PC, a scalar register file, and per-thread slices of the PE register and
+flag files (held in :class:`repro.pe.PEArray`).  The per-thread
+scoreboard entries used for hazard detection live here too; collectively
+they are the paper's *instruction status table*.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.isa import registers
+from repro.isa.opcodes import OpSpec
+
+
+class ThreadState(enum.Enum):
+    FREE = "free"          # context not allocated
+    RUNNABLE = "runnable"  # may issue instructions
+    JOINING = "joining"    # blocked in tjoin until the target exits
+    EXITED = "exited"      # transient: texit issued, context about to free
+
+
+@dataclass
+class RegScore:
+    """Scoreboard entry for one in-flight register write."""
+
+    result_cycle: int      # cycle the value first exists on a bypass path
+    writeback_cycle: int   # architectural WB (WAW ordering)
+    producer: OpSpec       # for hazard classification in statistics
+
+
+class ThreadContext:
+    """One hardware thread: PC, scalar registers, scoreboard, status."""
+
+    __slots__ = ("tid", "state", "pc", "sregs", "min_issue", "last_issue",
+                 "join_target", "score", "instructions_issued")
+
+    def __init__(self, tid: int) -> None:
+        self.tid = tid
+        self.state = ThreadState.FREE
+        self.pc = 0
+        self.sregs = [0] * registers.NUM_SCALAR_REGS
+        self.min_issue = 0       # earliest next issue (control bubbles etc.)
+        self.last_issue = -1
+        self.join_target: int | None = None
+        # Scoreboard: regfile -> {reg index -> RegScore}.
+        self.score: dict[str, dict[int, RegScore]] = {
+            "s": {}, "p": {}, "f": {}}
+        self.instructions_issued = 0
+
+    def activate(self, pc: int, start_cycle: int) -> None:
+        """(Re)initialize the context for a newly spawned thread."""
+        self.state = ThreadState.RUNNABLE
+        self.pc = pc
+        self.sregs = [0] * registers.NUM_SCALAR_REGS
+        self.min_issue = start_cycle
+        self.last_issue = start_cycle - 1
+        self.join_target = None
+        self.score = {"s": {}, "p": {}, "f": {}}
+
+    def read_sreg(self, idx: int) -> int:
+        return 0 if idx == registers.ZERO_REG else self.sregs[idx]
+
+    def write_sreg(self, idx: int, value: int, word_mask: int) -> None:
+        if idx != registers.ZERO_REG:
+            self.sregs[idx] = value & word_mask
+
+    def note_write(self, regfile: str, idx: int, result_cycle: int,
+                   writeback_cycle: int, producer: OpSpec) -> None:
+        """Record an in-flight write for hazard detection."""
+        self.score[regfile][idx] = RegScore(result_cycle, writeback_cycle,
+                                            producer)
+
+    def prune_score(self, cycle: int) -> None:
+        """Drop entries that can no longer delay any consumer."""
+        for table in self.score.values():
+            dead = [idx for idx, e in table.items()
+                    if e.result_cycle < cycle and e.writeback_cycle < cycle]
+            for idx in dead:
+                del table[idx]
+
+
+class ThreadStatusTable:
+    """All hardware contexts plus allocation bookkeeping."""
+
+    def __init__(self, num_threads: int) -> None:
+        self.contexts = [ThreadContext(tid) for tid in range(num_threads)]
+
+    def __iter__(self):
+        return iter(self.contexts)
+
+    def __getitem__(self, tid: int) -> ThreadContext:
+        return self.contexts[tid]
+
+    def allocate(self, pc: int, start_cycle: int) -> int | None:
+        """Allocate a free context (tspawn); None if all are in use."""
+        for ctx in self.contexts:
+            if ctx.state is ThreadState.FREE:
+                ctx.activate(pc, start_cycle)
+                return ctx.tid
+        return None
+
+    def release(self, tid: int) -> None:
+        """Release a context (texit)."""
+        self.contexts[tid].state = ThreadState.FREE
+
+    def live_threads(self) -> list[ThreadContext]:
+        return [c for c in self.contexts
+                if c.state in (ThreadState.RUNNABLE, ThreadState.JOINING)]
+
+    def runnable_threads(self) -> list[ThreadContext]:
+        return [c for c in self.contexts if c.state is ThreadState.RUNNABLE]

@@ -1,0 +1,86 @@
+"""Pipeline stage-occupancy charts (Figure 1 / Figure 2 machinery).
+
+Renders issued instructions as the classic cycle-by-cycle stage diagram
+used in the paper's Figure 2, with stalled instructions repeating the ID
+stage ("a stall is indicated by having the instruction repeat the
+instruction decode (ID) stage", Section 4.2)::
+
+    sub  s3, s1, s2   IF ID SR EX MA WB
+    padd p1, p1, s3      IF ID SR B1 B2 PR EX WB
+
+Also exposes the per-class stage paths for the Figure 1 structural check.
+"""
+
+from __future__ import annotations
+
+from repro.asm.disassembler import format_instruction
+from repro.core.config import ProcessorConfig
+from repro.core.processor import IssueRecord
+from repro.core.timing import stage_schedule
+from repro.isa.opcodes import OPCODES, ExecClass
+
+
+def pipeline_paths(cfg: ProcessorConfig) -> dict[str, list[str]]:
+    """Stage sequence of each instruction class (Figure 1).
+
+    Uses a representative opcode per class and strips the variable-length
+    decode repeat.
+    """
+    reps = {"scalar": "add", "parallel": "padd", "reduction": "rmax"}
+    out = {}
+    for name, mnemonic in reps.items():
+        spec = OPCODES[mnemonic]
+        slots = stage_schedule(spec, cfg, issue_cycle=1)
+        out[name] = [s.stage for s in slots]
+    return out
+
+
+def render_trace(records: list[IssueRecord], cfg: ProcessorConfig,
+                 max_cycles: int | None = None,
+                 show_thread: bool = False) -> str:
+    """ASCII stage chart for a list of issue records."""
+    rows: list[tuple[str, dict[int, str]]] = []
+    last_cycle = 0
+    for rec in records:
+        slots = stage_schedule(rec.instr.spec, cfg, rec.cycle,
+                               fetch_cycle=rec.fetch_cycle)
+        by_cycle = {s.cycle: s.stage for s in slots}
+        label = format_instruction(rec.instr)
+        if show_thread:
+            label = f"t{rec.thread}: {label}"
+        rows.append((label, by_cycle))
+        last_cycle = max(last_cycle, max(by_cycle))
+    if max_cycles is not None:
+        last_cycle = min(last_cycle, max_cycles)
+    first_cycle = min((min(c for c in by_cycle) for _, by_cycle in rows),
+                      default=0)
+
+    label_width = max((len(label) for label, _ in rows), default=0) + 2
+    cell = max(3, max((len(stage) for _, bc in rows for stage in bc.values()),
+                      default=3) + 1)
+    header = " " * label_width + "".join(
+        f"{c:>{cell}}" for c in range(first_cycle, last_cycle + 1))
+    lines = [header]
+    for label, by_cycle in rows:
+        cells = "".join(
+            f"{by_cycle.get(c, ''):>{cell}}"
+            for c in range(first_cycle, last_cycle + 1))
+        lines.append(label.ljust(label_width) + cells)
+    return "\n".join(lines)
+
+
+def hazard_distance(records: list[IssueRecord]) -> dict[tuple[int, int], int]:
+    """Issue-cycle gaps between consecutive same-thread instructions.
+
+    Keyed by (thread, older pc); a gap of 1 means back-to-back issue and
+    ``gap - 1`` is the number of stall cycles the younger instruction
+    suffered.  Used by the Figure-2 benchmark assertions.
+    """
+    last: dict[int, IssueRecord] = {}
+    gaps: dict[tuple[int, int], int] = {}
+    for rec in records:
+        prev = last.get(rec.thread)
+        if prev is not None:
+            gaps[(rec.thread, prev.pc)] = rec.cycle - prev.cycle
+        last[rec.thread] = rec
+    return gaps

@@ -1,0 +1,63 @@
+"""FPGA substrate models: devices, resources, timing, fitting."""
+
+from repro.fpga.devices import (
+    ALL_DEVICES,
+    APEX20K1000,
+    Device,
+    EP1S80,
+    EP2C35,
+    EP2C70,
+    FLEX10K70,
+    M4K_BITS,
+    XCV1000E,
+    device_by_name,
+)
+from repro.fpga.resource_model import (
+    PAPER_TABLE1,
+    PEOrganization,
+    ResourceUsage,
+    control_unit_resources,
+    network_resources,
+    pe_array_resources,
+    pe_resources,
+    table1,
+    total_resources,
+)
+from repro.fpga.timing_model import (
+    broadcast_settle_ns,
+    fmax_mhz,
+    nonpipelined_broadcast_fmax_mhz,
+    pipelined_fmax_mhz,
+    runtime_us,
+)
+from repro.fpga.fitter import FitResult, fits, max_pes
+
+__all__ = [
+    "ALL_DEVICES",
+    "APEX20K1000",
+    "Device",
+    "EP1S80",
+    "EP2C35",
+    "EP2C70",
+    "FLEX10K70",
+    "M4K_BITS",
+    "XCV1000E",
+    "device_by_name",
+    "PAPER_TABLE1",
+    "PEOrganization",
+    "ResourceUsage",
+    "control_unit_resources",
+    "network_resources",
+    "pe_array_resources",
+    "pe_resources",
+    "table1",
+    "total_resources",
+    "broadcast_settle_ns",
+    "fmax_mhz",
+    "nonpipelined_broadcast_fmax_mhz",
+    "pipelined_fmax_mhz",
+    "runtime_us",
+    "FitResult",
+    "fits",
+    "max_pes",
+]

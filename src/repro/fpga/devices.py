@@ -1,0 +1,74 @@
+"""FPGA device catalog.
+
+Logic-element and embedded-RAM capacities of the devices that appear in
+the paper and its related work (Sections 3, 7 and 8).  "LEs" are Altera
+logic elements (4-LUT + FF); for the Xilinx part we quote the equivalent
+logic-cell count so the fitter can compare architectures on one axis.
+M4K blocks hold 4096 data bits.
+
+The 'available' row of Table 1 — 33,216 LEs and 105 M4K blocks for the
+EP2C35 — anchors the catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+M4K_BITS = 4096  # usable data bits per M4K block (parity excluded)
+
+
+@dataclass(frozen=True)
+class Device:
+    """One FPGA part."""
+
+    name: str
+    family: str
+    logic_elements: int
+    ram_blocks: int
+    ram_block_bits: int = M4K_BITS
+    notes: str = ""
+
+    @property
+    def ram_bits(self) -> int:
+        return self.ram_blocks * self.ram_block_bits
+
+
+# The prototype's target (paper Section 7, Table 1 "Available" row).
+EP2C35 = Device(
+    "EP2C35", "Cyclone II", logic_elements=33_216, ram_blocks=105,
+    notes="Multithreaded ASC Processor prototype target")
+
+# Larger Cyclone II the paper's "next version will be larger" points at.
+EP2C70 = Device(
+    "EP2C70", "Cyclone II", logic_elements=68_416, ram_blocks=250,
+    notes="scaling target for future versions")
+
+# Earlier ASC Processor hosts (Section 3).
+FLEX10K70 = Device(
+    "FLEX 10K70", "FLEX 10K", logic_elements=3_744, ram_blocks=9,
+    ram_block_bits=2_048,
+    notes="first (4-PE) ASC Processor target [5]")
+APEX20K1000 = Device(
+    "APEX 20K1000", "APEX 20K", logic_elements=38_400, ram_blocks=160,
+    ram_block_bits=2_048,
+    notes="scalable ASC Processor (50 PEs) target [6]")
+
+# Related-work hosts (Section 8).
+XCV1000E = Device(
+    "XCV1000E", "Virtex-E", logic_elements=27_648, ram_blocks=96,
+    notes="Li et al. FPGA SIMD processor, 95 PEs at 68 MHz [10]")
+EP1S80 = Device(
+    "EP1S80", "Stratix", logic_elements=79_040, ram_blocks=679,
+    notes="Hoare et al. 88-way multiprocessor, 121 MHz [11]")
+
+ALL_DEVICES: tuple[Device, ...] = (
+    EP2C35, EP2C70, FLEX10K70, APEX20K1000, XCV1000E, EP1S80)
+
+
+def device_by_name(name: str) -> Device:
+    """Look up a catalog device by (case-insensitive) name."""
+    for dev in ALL_DEVICES:
+        if dev.name.lower() == name.lower():
+            return dev
+    raise KeyError(f"unknown device {name!r}; "
+                   f"known: {[d.name for d in ALL_DEVICES]}")

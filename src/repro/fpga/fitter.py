@@ -1,0 +1,82 @@
+"""Device fitter: how many PEs fit a given FPGA?
+
+Reproduces the paper's capacity analysis: "The main factor that limits
+the number of PEs is the availability of RAM blocks" (Section 7) and
+Section 9's future-work direction of "alternative PE organizations that
+require fewer RAM blocks and take advantage of unused logic resources"
+(exercised via :class:`~repro.fpga.resource_model.PEOrganization`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.config import ProcessorConfig
+from repro.fpga.devices import Device
+from repro.fpga.resource_model import PEOrganization, total_resources
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Outcome of fitting a configuration family onto a device."""
+
+    device: Device
+    max_pes: int
+    limiting_resource: str      # "ram", "logic", or "none"
+    logic_used: int
+    ram_used: int
+
+    @property
+    def logic_utilization(self) -> float:
+        return self.logic_used / self.device.logic_elements
+
+    @property
+    def ram_utilization(self) -> float:
+        return self.ram_used / self.device.ram_blocks
+
+
+def fits(cfg: ProcessorConfig, device: Device,
+         org: PEOrganization = PEOrganization()) -> bool:
+    """Does this exact configuration fit on the device?"""
+    usage = total_resources(cfg, org)
+    return (usage.logic_elements <= device.logic_elements
+            and usage.ram_blocks <= device.ram_blocks)
+
+
+def max_pes(device: Device, cfg: ProcessorConfig | None = None,
+            org: PEOrganization = PEOrganization(),
+            limit: int = 1 << 14) -> FitResult:
+    """Largest power-free PE count whose machine fits the device.
+
+    Scans PE counts with an exponential-then-binary search; all other
+    configuration parameters are held fixed.
+    """
+    base = cfg or ProcessorConfig()
+
+    def usage_at(p: int):
+        return total_resources(replace(base, num_pes=p), org)
+
+    if not fits(replace(base, num_pes=1), device, org):
+        return FitResult(device, 0, "logic", 0, 0)
+
+    lo, hi = 1, 2
+    while hi <= limit and fits(replace(base, num_pes=hi), device, org):
+        lo, hi = hi, hi * 2
+    hi = min(hi, limit)
+    while lo < hi - 1:
+        mid = (lo + hi) // 2
+        if fits(replace(base, num_pes=mid), device, org):
+            lo = mid
+        else:
+            hi = mid
+
+    best = usage_at(lo)
+    over = usage_at(lo + 1)
+    if over.ram_blocks > device.ram_blocks:
+        limiting = "ram"
+    elif over.logic_elements > device.logic_elements:
+        limiting = "logic"
+    else:
+        limiting = "none"   # hit the scan limit
+    return FitResult(device, lo, limiting,
+                     best.logic_elements, best.ram_blocks)

@@ -1,0 +1,184 @@
+"""Analytic FPGA resource model, calibrated against Table 1.
+
+Without the authors' VHDL and a Quartus run we cannot re-synthesize the
+prototype; instead we model each subsystem's logic-element and RAM-block
+consumption with structural formulas (terms proportional to word width,
+thread count, tree nodes, memory bits) whose coefficients are calibrated
+so the model reproduces Table 1 exactly at the prototype's configuration
+(16 PEs, 8-bit words, 16 threads, 1 KB local memory, EP2C35).  The
+*structure* of each formula is what carries the paper's conclusions —
+RAM-block pressure scales with PEs and threads, network logic with tree
+nodes, PE logic with word width — so the model extrapolates those
+conclusions to other configurations (experiments T1, E5).
+
+Calibration identities (prototype config, per Table 1):
+
+* control unit:   361 + 72·T + 48·W                  = 1,897 LEs, 8 RAMs
+* PE (each):       70 + 30·W + 16·ceil(log2 T)       =   374 LEs, 6 RAMs
+* network:        171 + nodes·(40 + 10 + 26 + 20 + 12 + W·0 …) = 1,791 LEs, 0 RAMs
+
+RAM accounting per PE (the paper's Section 6.2 discussion):
+
+* local memory: ``ceil(lmem_bits / 4096)`` blocks (2 for 1 KB);
+* general-purpose register file: two copies (2 read ports from
+  single-port M4Ks) of ``ceil(16·T·W / 4096)`` blocks (2 for T=16, W=8);
+* flag register file: two copies of ``ceil(8·T·pe_group / 4096)`` blocks
+  where ``flag_share_pes`` PEs share a block (1 by default, i.e. no
+  sharing: "using an entire RAM block for a single flag register file
+  would be a waste" — the sharing knob models the paper's proposed fix
+  and is exercised by experiment E5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.core.config import ProcessorConfig
+from repro.fpga.devices import M4K_BITS
+from repro.network.tree import tree_internal_nodes
+
+
+@dataclass(frozen=True)
+class PEOrganization:
+    """PE memory-organization options (paper Section 9 future work)."""
+
+    gpr_copies: int = 2       # register-file replicas for read ports
+    flag_copies: int = 2      # flag-file replicas
+    flag_share_pes: int = 1   # PEs sharing one flag RAM block
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """LE/RAM usage of one subsystem."""
+
+    name: str
+    logic_elements: int
+    ram_blocks: int
+
+    def __add__(self, other: "ResourceUsage") -> "ResourceUsage":
+        return ResourceUsage("total",
+                             self.logic_elements + other.logic_elements,
+                             self.ram_blocks + other.ram_blocks)
+
+
+# -- calibrated coefficients ----------------------------------------------------
+
+# Control unit LEs: fixed control + per-thread decode/status + datapath/bit.
+_CU_BASE = 361
+_CU_PER_THREAD = 72
+_CU_PER_BIT = 48
+
+# PE LEs: fixed control + datapath per bit + thread-mux per log2(threads).
+_PE_BASE = 70
+_PE_PER_BIT = 30
+_PE_PER_LOG_THREAD = 16
+
+# Network LEs: fixed CU-side interface + per-internal-node costs.
+_NET_BASE = 171
+_NET_BCAST_NODE = 40       # instruction/data register + fanout buffers
+_NET_LOGIC_NODE = 10       # OR tree node + bypassable inverters
+_NET_MAXMIN_NODE = 26      # compare + mux + register
+_NET_SUM_NODE = 20         # adder + saturation + register
+_NET_COUNT_NODE = 12       # small adder + register
+# resolver: parallel-prefix cell; folded into the count coefficient sum
+# below so that the five reduction units at W=8 total 108 LEs/node level.
+_NET_RESOLVER_NODE = 0     # see _net_logic_elements
+
+_CU_RAM_IMEM = 4           # instruction memory blocks
+_CU_RAM_TABLES = 2         # thread status + instruction status tables
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def control_unit_resources(cfg: ProcessorConfig) -> ResourceUsage:
+    """Control unit: fetch/decode/scheduler/scalar datapath."""
+    les = (_CU_BASE + _CU_PER_THREAD * cfg.num_threads
+           + _CU_PER_BIT * cfg.word_width)
+    sreg_bits = 16 * cfg.num_threads * cfg.word_width
+    rams = _CU_RAM_IMEM + 2 * _ceil_div(sreg_bits, M4K_BITS) + _CU_RAM_TABLES
+    return ResourceUsage("Control Unit", les, rams)
+
+
+def pe_resources(cfg: ProcessorConfig,
+                 org: PEOrganization = PEOrganization()) -> ResourceUsage:
+    """One processing element."""
+    les = (_PE_BASE + _PE_PER_BIT * cfg.word_width
+           + _PE_PER_LOG_THREAD * max(1, math.ceil(math.log2(
+               max(cfg.num_threads, 2)))))
+    lmem_bits = cfg.lmem_words * cfg.word_width
+    gpr_bits = 16 * cfg.num_threads * cfg.word_width
+    flag_bits = 8 * cfg.num_threads * org.flag_share_pes
+    rams = (_ceil_div(lmem_bits, M4K_BITS)
+            + org.gpr_copies * _ceil_div(gpr_bits, M4K_BITS)
+            + org.flag_copies * _ceil_div(flag_bits, M4K_BITS)
+            / org.flag_share_pes)
+    return ResourceUsage("PE", les, math.ceil(rams))
+
+
+def pe_array_resources(cfg: ProcessorConfig,
+                       org: PEOrganization = PEOrganization(),
+                       ) -> ResourceUsage:
+    """The whole PE array.
+
+    Flag-file sharing pools blocks across groups of PEs, so the array
+    total is computed at array granularity rather than multiplying a
+    per-PE ceiling.
+    """
+    per_pe = pe_resources(cfg, org)
+    les = per_pe.logic_elements * cfg.num_pes
+    lmem_bits = cfg.lmem_words * cfg.word_width
+    gpr_bits = 16 * cfg.num_threads * cfg.word_width
+    flag_bits_per_pe = 8 * cfg.num_threads
+    groups = _ceil_div(cfg.num_pes, org.flag_share_pes)
+    rams = (cfg.num_pes * (_ceil_div(lmem_bits, M4K_BITS)
+                           + org.gpr_copies * _ceil_div(gpr_bits, M4K_BITS))
+            + groups * org.flag_copies
+            * _ceil_div(flag_bits_per_pe * org.flag_share_pes, M4K_BITS))
+    return ResourceUsage(f"PE Array ({cfg.num_pes} PEs)", les, rams)
+
+
+def network_resources(cfg: ProcessorConfig) -> ResourceUsage:
+    """Broadcast tree plus the five reduction units (all logic, no RAM)."""
+    bcast_nodes = tree_internal_nodes(cfg.num_pes, cfg.broadcast_arity)
+    red_nodes = tree_internal_nodes(cfg.num_pes, 2)
+    les = (_NET_BASE
+           + bcast_nodes * _NET_BCAST_NODE
+           + red_nodes * (_NET_LOGIC_NODE + _NET_MAXMIN_NODE
+                          + _NET_SUM_NODE + _NET_COUNT_NODE
+                          + _NET_RESOLVER_NODE))
+    return ResourceUsage("Network", les, 0)
+
+
+def total_resources(cfg: ProcessorConfig,
+                    org: PEOrganization = PEOrganization(),
+                    ) -> ResourceUsage:
+    """Whole-machine usage: control unit + PE array + network."""
+    usage = (control_unit_resources(cfg) + pe_array_resources(cfg, org)
+             + network_resources(cfg))
+    return ResourceUsage("Total", usage.logic_elements, usage.ram_blocks)
+
+
+def table1(cfg: ProcessorConfig | None = None,
+           org: PEOrganization = PEOrganization(),
+           ) -> list[ResourceUsage]:
+    """The rows of Table 1 for a configuration (prototype by default)."""
+    cfg = cfg or ProcessorConfig()
+    return [
+        control_unit_resources(cfg),
+        pe_array_resources(cfg, org),
+        network_resources(cfg),
+        total_resources(cfg, org),
+    ]
+
+
+# Paper-reported Table 1 values, for the reproduction check (T1).
+PAPER_TABLE1 = {
+    "Control Unit": (1_897, 8),
+    "PE Array (16 PEs)": (5_984, 96),
+    "Network": (1_791, 0),
+    "Total": (9_672, 104),
+    "Available": (33_216, 105),
+}

@@ -1,0 +1,76 @@
+"""Clock-frequency model.
+
+The paper's performance argument (Sections 1, 4, 8) rests on how the
+achievable clock rate scales with PE count under three network styles:
+
+* **non-pipelined broadcast** — every instruction must settle across the
+  whole fanout tree within one clock, so the critical path grows with
+  the tree depth and wire length ("the clock speed is limited by the
+  time it takes to distribute instructions to the PEs" — said of Li et
+  al. [10]);
+* **pipelined broadcast, unpipelined execution** — broadcast is
+  registered, but each instruction executes to completion before the
+  next issues (Hoare et al. [11]);
+* **fully pipelined** — the prototype: the critical path is the PE
+  forwarding logic, *independent of PE count* ("the critical path that
+  limits the clock speed is the forwarding logic in the PE",
+  Section 7).
+
+Calibration anchors: the prototype's ~75 MHz at W=8 (Section 7);
+[10]'s 68 MHz at 95 PEs with non-pipelined broadcast; [11]'s 121 MHz at
+88 PEs with pipelined broadcast.  The *shapes* (flat vs. logarithmically
+degrading) carry the reproduction; absolute numbers are the anchors.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.config import ProcessorConfig
+
+# Pipelined machine: t_crit = register + forwarding-mux chain (per bit of
+# comparator look-ahead) — calibrated to 75 MHz at W=8.
+_T_FF_NS = 4.0
+_T_FWD_PER_BIT_NS = 1.15
+
+# Broadcast wire/settle model for unpipelined distribution: each tree
+# level adds logic + routing delay; long top-level wires add a further
+# distance term.  Calibrated so a ~95-PE machine lands near 68 MHz [10].
+_T_BCAST_BASE_NS = 4.0
+_T_BCAST_PER_LEVEL_NS = 1.0
+_T_BCAST_WIRE_NS = 0.38
+
+
+def pipelined_fmax_mhz(cfg: ProcessorConfig) -> float:
+    """Clock of the fully pipelined prototype: set by PE forwarding.
+
+    Independent of the number of PEs — that independence *is* the
+    paper's headline synthesis result.
+    """
+    return 1000.0 / (_T_FF_NS + _T_FWD_PER_BIT_NS * cfg.word_width)
+
+
+def broadcast_settle_ns(num_pes: int, arity: int = 2) -> float:
+    """Unregistered broadcast settle time across the whole array."""
+    levels = max(1, math.ceil(math.log(max(num_pes, 2), arity)))
+    return (_T_BCAST_BASE_NS + _T_BCAST_PER_LEVEL_NS * levels
+            + _T_BCAST_WIRE_NS * math.sqrt(num_pes))
+
+
+def nonpipelined_broadcast_fmax_mhz(cfg: ProcessorConfig) -> float:
+    """Clock when instruction distribution is on the critical path."""
+    settle = broadcast_settle_ns(cfg.num_pes, cfg.broadcast_arity)
+    pe_path = _T_FF_NS + _T_FWD_PER_BIT_NS * cfg.word_width
+    return 1000.0 / max(settle, pe_path)
+
+
+def fmax_mhz(cfg: ProcessorConfig) -> float:
+    """Clock estimate for a configuration, honoring its network flags."""
+    if cfg.pipelined_broadcast:
+        return pipelined_fmax_mhz(cfg)
+    return nonpipelined_broadcast_fmax_mhz(cfg)
+
+
+def runtime_us(cycles: int, cfg: ProcessorConfig) -> float:
+    """Wall-clock microseconds for a cycle count under the clock model."""
+    return cycles / fmax_mhz(cfg)

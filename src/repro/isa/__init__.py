@@ -1,0 +1,46 @@
+"""KASC-MT instruction set architecture.
+
+A RISC load-store ISA "similar to, but not compatible with, the ISA used
+in the previous ASC Processors ... similar to MIPS, but with extensions
+for SIMD data-parallel computing, associative computing, and
+multithreading" (paper Section 6.1).
+
+Public surface:
+
+* :data:`~repro.isa.opcodes.OPCODES` — declarative opcode table;
+* :class:`~repro.isa.instruction.Instruction` — decoded instruction;
+* :func:`~repro.isa.encoding.encode` / :func:`~repro.isa.encoding.decode`
+  — 32-bit binary round trip;
+* :mod:`~repro.isa.registers` — register file specs.
+"""
+
+from repro.isa.instruction import Instruction, IsaError
+from repro.isa.encoding import DecodeError, decode, decode_program, encode, encode_program
+from repro.isa.opcodes import (
+    ALL_MNEMONICS,
+    ExecClass,
+    Format,
+    ImmKind,
+    OPCODES,
+    OpSpec,
+    lookup,
+)
+from repro.isa import registers
+
+__all__ = [
+    "Instruction",
+    "IsaError",
+    "DecodeError",
+    "decode",
+    "decode_program",
+    "encode",
+    "encode_program",
+    "ALL_MNEMONICS",
+    "ExecClass",
+    "Format",
+    "ImmKind",
+    "OPCODES",
+    "OpSpec",
+    "lookup",
+    "registers",
+]

@@ -1,0 +1,428 @@
+"""Declarative opcode table for the KASC-MT instruction set.
+
+Every instruction the Multithreaded ASC Processor executes is described
+here once, declaratively; the assembler, binary encoder/decoder, hazard
+detector, pipeline-path selector and execution units are all driven from
+this table (see DESIGN.md Section 6 for the ISA rationale).
+
+Instructions are classified per Section 4.1 of the paper:
+
+* ``ExecClass.SCALAR`` — "execute within the control unit";
+* ``ExecClass.PARALLEL`` — "execute on the PE array and require the use
+  of the broadcast network";
+* ``ExecClass.REDUCTION`` — "execute on the PE array and require the use
+  of both the broadcast and reduction networks".
+
+Encoding formats (32-bit fixed width):
+
+* ``R``  — ``op[31:26] rd[25:21] rs[20:16] rt[15:11] mf[10:8] funct[7:0]``
+* ``I``  — ``op[31:26] rd[25:21] rs[20:16] imm16[15:0]`` (scalar I-type)
+* ``IP`` — ``op[31:26] rd[25:21] rs[20:16] mf[15:13] imm13[12:0]``
+  (parallel I-type; the immediate is broadcast with the instruction)
+* ``J``  — ``op[31:26] target[25:0]``
+
+``mf`` is the 3-bit mask-flag field carried by every parallel and
+reduction instruction; PEs whose mask flag is 0 are inactive for that
+instruction (the associative responder mechanism).  ``f0`` is hardwired
+to 1, so the default mask is "all PEs active".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ExecClass(enum.Enum):
+    """Which datapath an instruction occupies (paper Section 4.1)."""
+
+    SCALAR = "scalar"
+    PARALLEL = "parallel"
+    REDUCTION = "reduction"
+
+
+class Format(enum.Enum):
+    """Binary encoding format."""
+
+    R = "R"
+    I = "I"    # noqa: E741 - matches conventional MIPS format name
+    IP = "IP"
+    J = "J"
+
+
+class ImmKind(enum.Enum):
+    """How an instruction's immediate field is interpreted."""
+
+    SIGNED = "signed"      # sign-extended data immediate
+    UNSIGNED = "unsigned"  # zero-extended data immediate
+    SHAMT = "shamt"        # shift amount (0..31)
+    OFFSET = "offset"      # branch offset in instructions, PC-relative
+    TARGET = "target"      # absolute instruction address
+    REGIDX = "regidx"      # scalar register index (tput/tget)
+
+
+# Primary (group) opcodes.
+OP_SOP = 0    # scalar R-type group (funct-selected)
+OP_POP = 1    # parallel R-type, both operands parallel
+OP_PSOP = 2   # parallel R-type, rt operand read from the scalar file
+OP_FOP = 3    # flag-register ops
+OP_ROP = 4    # reduction ops
+OP_TOP = 5    # thread management / halt (R-type group)
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Complete static description of one instruction mnemonic."""
+
+    mnemonic: str
+    exec_class: ExecClass
+    fmt: Format
+    opcode: int
+    funct: int | None = None
+    # Assembly operand syntax: sequence of (kind, field) pairs in
+    # source-order.  Kinds: sreg/preg/freg/imm/mem_s/mem_p/target/regidx.
+    # Fields: rd/rs/rt/imm/target.  mem_* consumes both imm and rs.
+    operands: tuple[tuple[str, str], ...] = ()
+    # Hazard roles: destination (regfile, field) or None; sources as
+    # (regfile, field) pairs.  Regfiles: 's' scalar, 'p' parallel, 'f' flag.
+    dest: tuple[str, str] | None = None
+    srcs: tuple[tuple[str, str], ...] = ()
+    masked: bool = False          # accepts an optional [fN] mask operand
+    imm_kind: ImmKind | None = None
+    # Behavioural attributes.
+    is_branch: bool = False
+    is_jump: bool = False
+    is_load: bool = False
+    is_store: bool = False
+    is_mul: bool = False
+    is_div: bool = False
+    is_halt: bool = False
+    is_thread_op: bool = False
+    implicit_dest: int | None = None   # scalar reg index written implicitly (jal)
+    reduction_unit: str | None = None  # logic/maxmin/sum/count/resolver
+    parallel_dest: bool = False        # reduction with a parallel-valued output
+
+    @property
+    def has_mem_operand(self) -> bool:
+        return any(kind in ("mem_s", "mem_p") for kind, _ in self.operands)
+
+    def __post_init__(self) -> None:
+        if self.fmt is Format.R and self.funct is None:
+            raise ValueError(f"{self.mnemonic}: R-format requires a funct code")
+
+
+OPCODES: dict[str, OpSpec] = {}
+
+# Reverse lookup tables for the decoder: (opcode,) or (opcode, funct).
+_BY_OPCODE: dict[int, OpSpec] = {}
+_BY_OPCODE_FUNCT: dict[tuple[int, int], OpSpec] = {}
+
+_GROUP_OPCODES = {OP_SOP, OP_POP, OP_PSOP, OP_FOP, OP_ROP, OP_TOP}
+
+
+def _add(spec: OpSpec) -> OpSpec:
+    if spec.mnemonic in OPCODES:
+        raise ValueError(f"duplicate mnemonic {spec.mnemonic}")
+    OPCODES[spec.mnemonic] = spec
+    if spec.opcode in _GROUP_OPCODES:
+        key = (spec.opcode, spec.funct)
+        if key in _BY_OPCODE_FUNCT:
+            raise ValueError(f"duplicate opcode/funct {key} for {spec.mnemonic}")
+        _BY_OPCODE_FUNCT[key] = spec
+    else:
+        if spec.opcode in _BY_OPCODE:
+            raise ValueError(f"duplicate opcode {spec.opcode} for {spec.mnemonic}")
+        _BY_OPCODE[spec.opcode] = spec
+    return spec
+
+
+def lookup(opcode: int, funct: int | None = None) -> OpSpec | None:
+    """Find the OpSpec for a decoded (opcode, funct) pair, if any."""
+    if opcode in _GROUP_OPCODES:
+        return _BY_OPCODE_FUNCT.get((opcode, funct if funct is not None else 0))
+    return _BY_OPCODE.get(opcode)
+
+
+# ---------------------------------------------------------------------------
+# Scalar R-type (group SOP)
+# ---------------------------------------------------------------------------
+
+_SOP_3R = (("sreg", "rd"), ("sreg", "rs"), ("sreg", "rt"))
+_SOP_DEST = ("s", "rd")
+_SOP_SRCS = (("s", "rs"), ("s", "rt"))
+
+for _funct, _name, _extra in [
+    (0, "add", {}),
+    (1, "sub", {}),
+    (2, "and", {}),
+    (3, "or", {}),
+    (4, "xor", {}),
+    (5, "nor", {}),
+    (6, "sll", {}),
+    (7, "srl", {}),
+    (8, "sra", {}),
+    (9, "slt", {}),
+    (10, "sltu", {}),
+    (11, "smul", {"is_mul": True}),
+    (12, "sdiv", {"is_div": True}),
+]:
+    _add(OpSpec(_name, ExecClass.SCALAR, Format.R, OP_SOP, _funct,
+                operands=_SOP_3R, dest=_SOP_DEST, srcs=_SOP_SRCS, **_extra))
+
+_add(OpSpec("jr", ExecClass.SCALAR, Format.R, OP_SOP, 13,
+            operands=(("sreg", "rs"),), srcs=(("s", "rs"),), is_jump=True))
+
+# ---------------------------------------------------------------------------
+# Scalar I-type
+# ---------------------------------------------------------------------------
+
+_I_RRI = (("sreg", "rd"), ("sreg", "rs"), ("imm", "imm"))
+
+for _op, _name, _kind in [
+    (8, "addi", ImmKind.SIGNED),
+    (9, "andi", ImmKind.UNSIGNED),
+    (10, "ori", ImmKind.UNSIGNED),
+    (11, "xori", ImmKind.UNSIGNED),
+    (12, "slti", ImmKind.SIGNED),
+    (13, "sltiu", ImmKind.SIGNED),
+    (15, "slli", ImmKind.SHAMT),
+    (16, "srli", ImmKind.SHAMT),
+    (17, "srai", ImmKind.SHAMT),
+]:
+    _add(OpSpec(_name, ExecClass.SCALAR, Format.I, _op,
+                operands=_I_RRI, dest=("s", "rd"), srcs=(("s", "rs"),),
+                imm_kind=_kind))
+
+_add(OpSpec("lui", ExecClass.SCALAR, Format.I, 14,
+            operands=(("sreg", "rd"), ("imm", "imm")),
+            dest=("s", "rd"), imm_kind=ImmKind.UNSIGNED))
+
+_add(OpSpec("lw", ExecClass.SCALAR, Format.I, 18,
+            operands=(("sreg", "rd"), ("mem_s", "imm")),
+            dest=("s", "rd"), srcs=(("s", "rs"),),
+            imm_kind=ImmKind.SIGNED, is_load=True))
+
+_add(OpSpec("sw", ExecClass.SCALAR, Format.I, 19,
+            operands=(("sreg", "rd"), ("mem_s", "imm")),
+            srcs=(("s", "rd"), ("s", "rs")),
+            imm_kind=ImmKind.SIGNED, is_store=True))
+
+for _op, _name in [(20, "beq"), (21, "bne"), (22, "blt"), (23, "bge")]:
+    _add(OpSpec(_name, ExecClass.SCALAR, Format.I, _op,
+                operands=(("sreg", "rd"), ("sreg", "rs"), ("imm", "imm")),
+                srcs=(("s", "rd"), ("s", "rs")),
+                imm_kind=ImmKind.OFFSET, is_branch=True))
+
+_add(OpSpec("j", ExecClass.SCALAR, Format.J, 24,
+            operands=(("target", "target"),),
+            imm_kind=ImmKind.TARGET, is_jump=True))
+
+from repro.isa.registers import LINK_REG as _LINK_REG  # noqa: E402
+
+_add(OpSpec("jal", ExecClass.SCALAR, Format.J, 25,
+            operands=(("target", "target"),),
+            imm_kind=ImmKind.TARGET, is_jump=True, implicit_dest=_LINK_REG))
+
+# ---------------------------------------------------------------------------
+# Thread management (Section 6.1, "Multithreading" ISA extensions)
+# ---------------------------------------------------------------------------
+
+_add(OpSpec("tspawn", ExecClass.SCALAR, Format.I, 26,
+            operands=(("sreg", "rd"), ("target", "imm")),
+            dest=("s", "rd"), imm_kind=ImmKind.TARGET, is_thread_op=True))
+
+_add(OpSpec("tput", ExecClass.SCALAR, Format.I, 27,
+            operands=(("sreg", "rd"), ("sreg", "rs"), ("regidx", "imm")),
+            srcs=(("s", "rd"), ("s", "rs")),
+            imm_kind=ImmKind.REGIDX, is_thread_op=True))
+
+_add(OpSpec("tget", ExecClass.SCALAR, Format.I, 28,
+            operands=(("sreg", "rd"), ("sreg", "rs"), ("regidx", "imm")),
+            dest=("s", "rd"), srcs=(("s", "rs"),),
+            imm_kind=ImmKind.REGIDX, is_thread_op=True))
+
+_add(OpSpec("texit", ExecClass.SCALAR, Format.R, OP_TOP, 0,
+            is_thread_op=True))
+
+_add(OpSpec("tjoin", ExecClass.SCALAR, Format.R, OP_TOP, 1,
+            operands=(("sreg", "rs"),), srcs=(("s", "rs"),),
+            is_thread_op=True))
+
+_add(OpSpec("halt", ExecClass.SCALAR, Format.R, OP_TOP, 2, is_halt=True))
+
+# ---------------------------------------------------------------------------
+# Parallel R-type, both operands parallel (group POP)
+# ---------------------------------------------------------------------------
+
+_POP_3R = (("preg", "rd"), ("preg", "rs"), ("preg", "rt"))
+_POP_DEST = ("p", "rd")
+_POP_SRCS = (("p", "rs"), ("p", "rt"))
+
+for _funct, _name, _extra in [
+    (0, "padd", {}),
+    (1, "psub", {}),
+    (2, "pand", {}),
+    (3, "por", {}),
+    (4, "pxor", {}),
+    (5, "pnor", {}),
+    (6, "psll", {}),
+    (7, "psrl", {}),
+    (8, "psra", {}),
+    (9, "pmul", {"is_mul": True}),
+    (10, "pdiv", {"is_div": True}),
+]:
+    _add(OpSpec(_name, ExecClass.PARALLEL, Format.R, OP_POP, _funct,
+                operands=_POP_3R, dest=_POP_DEST, srcs=_POP_SRCS,
+                masked=True, **_extra))
+
+# Parallel comparisons: flag destination ("Logical results from
+# comparisons ... become a first-class data type", Section 6.1).
+_PCMP = (("freg", "rd"), ("preg", "rs"), ("preg", "rt"))
+
+for _funct, _name in [
+    (16, "pceq"), (17, "pcne"), (18, "pclt"),
+    (19, "pcle"), (20, "pcltu"), (21, "pcleu"),
+]:
+    _add(OpSpec(_name, ExecClass.PARALLEL, Format.R, OP_POP, _funct,
+                operands=_PCMP, dest=("f", "rd"),
+                srcs=(("p", "rs"), ("p", "rt")), masked=True))
+
+# psel pd, ps, pt, fsel — per-PE select; the mf field carries the
+# *selector* flag rather than an execution mask, so psel is unmasked.
+_add(OpSpec("psel", ExecClass.PARALLEL, Format.R, OP_POP, 24,
+            operands=(("preg", "rd"), ("preg", "rs"), ("preg", "rt"),
+                      ("freg", "mf")),
+            dest=("p", "rd"),
+            srcs=(("p", "rs"), ("p", "rt"), ("f", "mf"))))
+
+# ---------------------------------------------------------------------------
+# Parallel R-type with broadcast scalar operand (group PSOP)
+# "Most parallel instructions allow one of the operands to be a scalar
+# value that is broadcast to the PE array" (Section 6.1).
+# ---------------------------------------------------------------------------
+
+_PSOP_3R = (("preg", "rd"), ("preg", "rs"), ("sreg", "rt"))
+_PSOP_SRCS = (("p", "rs"), ("s", "rt"))
+
+for _funct, _name, _extra in [
+    (0, "padds", {}),
+    (1, "psubs", {}),
+    (2, "pands", {}),
+    (3, "pors", {}),
+    (4, "pxors", {}),
+    (5, "pnors", {}),
+    (6, "pslls", {}),
+    (7, "psrls", {}),
+    (8, "psras", {}),
+    (9, "pmuls", {"is_mul": True}),
+    (10, "pdivs", {"is_div": True}),
+]:
+    _add(OpSpec(_name, ExecClass.PARALLEL, Format.R, OP_PSOP, _funct,
+                operands=_PSOP_3R, dest=_POP_DEST, srcs=_PSOP_SRCS,
+                masked=True, **_extra))
+
+for _funct, _name in [
+    (16, "pceqs"), (17, "pcnes"), (18, "pclts"),
+    (19, "pcles"), (20, "pcltus"), (21, "pcleus"),
+]:
+    _add(OpSpec(_name, ExecClass.PARALLEL, Format.R, OP_PSOP, _funct,
+                operands=(("freg", "rd"), ("preg", "rs"), ("sreg", "rt")),
+                dest=("f", "rd"), srcs=(("p", "rs"), ("s", "rt")),
+                masked=True))
+
+_add(OpSpec("pbcast", ExecClass.PARALLEL, Format.R, OP_PSOP, 24,
+            operands=(("preg", "rd"), ("sreg", "rs")),
+            dest=("p", "rd"), srcs=(("s", "rs"),), masked=True))
+
+# ---------------------------------------------------------------------------
+# Flag-register logic (group FOP; executes in the PEs)
+# ---------------------------------------------------------------------------
+
+_FOP_3R = (("freg", "rd"), ("freg", "rs"), ("freg", "rt"))
+_FOP_SRCS = (("f", "rs"), ("f", "rt"))
+
+for _funct, _name in [(0, "fand"), (1, "for"), (2, "fxor"), (3, "fandn")]:
+    _add(OpSpec(_name, ExecClass.PARALLEL, Format.R, OP_FOP, _funct,
+                operands=_FOP_3R, dest=("f", "rd"), srcs=_FOP_SRCS,
+                masked=True))
+
+for _funct, _name in [(4, "fnot"), (5, "fmov")]:
+    _add(OpSpec(_name, ExecClass.PARALLEL, Format.R, OP_FOP, _funct,
+                operands=(("freg", "rd"), ("freg", "rs")),
+                dest=("f", "rd"), srcs=(("f", "rs"),), masked=True))
+
+for _funct, _name in [(6, "fset"), (7, "fclr")]:
+    _add(OpSpec(_name, ExecClass.PARALLEL, Format.R, OP_FOP, _funct,
+                operands=(("freg", "rd"),), dest=("f", "rd"), masked=True))
+
+# ---------------------------------------------------------------------------
+# Parallel I-type
+# ---------------------------------------------------------------------------
+
+_IP_RRI = (("preg", "rd"), ("preg", "rs"), ("imm", "imm"))
+
+for _op, _name, _kind in [
+    (32, "paddi", ImmKind.SIGNED),
+    (33, "pandi", ImmKind.UNSIGNED),
+    (34, "pori", ImmKind.UNSIGNED),
+    (35, "pxori", ImmKind.UNSIGNED),
+    (36, "pslli", ImmKind.SHAMT),
+    (37, "psrli", ImmKind.SHAMT),
+    (38, "psrai", ImmKind.SHAMT),
+]:
+    _add(OpSpec(_name, ExecClass.PARALLEL, Format.IP, _op,
+                operands=_IP_RRI, dest=("p", "rd"), srcs=(("p", "rs"),),
+                imm_kind=_kind, masked=True))
+
+_add(OpSpec("plw", ExecClass.PARALLEL, Format.IP, 39,
+            operands=(("preg", "rd"), ("mem_p", "imm")),
+            dest=("p", "rd"), srcs=(("p", "rs"),),
+            imm_kind=ImmKind.SIGNED, is_load=True, masked=True))
+
+_add(OpSpec("psw", ExecClass.PARALLEL, Format.IP, 40,
+            operands=(("preg", "rd"), ("mem_p", "imm")),
+            srcs=(("p", "rd"), ("p", "rs")),
+            imm_kind=ImmKind.SIGNED, is_store=True, masked=True))
+
+for _op, _name in [(41, "pceqi"), (42, "pcnei"), (43, "pclti"), (44, "pclei")]:
+    _add(OpSpec(_name, ExecClass.PARALLEL, Format.IP, _op,
+                operands=(("freg", "rd"), ("preg", "rs"), ("imm", "imm")),
+                dest=("f", "rd"), srcs=(("p", "rs"),),
+                imm_kind=ImmKind.SIGNED, masked=True))
+
+# ---------------------------------------------------------------------------
+# Reductions (group ROP) — Section 6.4's reduction units
+# ---------------------------------------------------------------------------
+
+_RED_P = (("sreg", "rd"), ("preg", "rs"))
+_RED_F = (("sreg", "rd"), ("freg", "rs"))
+
+for _funct, _name, _unit in [
+    (0, "rand", "logic"),
+    (1, "ror", "logic"),
+    (2, "rmax", "maxmin"),
+    (3, "rmin", "maxmin"),
+    (4, "rmaxu", "maxmin"),
+    (5, "rminu", "maxmin"),
+    (6, "rsum", "sum"),
+    (9, "rget", "logic"),
+]:
+    _add(OpSpec(_name, ExecClass.REDUCTION, Format.R, OP_ROP, _funct,
+                operands=_RED_P, dest=("s", "rd"), srcs=(("p", "rs"),),
+                masked=True, reduction_unit=_unit))
+
+for _funct, _name, _unit in [(7, "rcount", "count"), (8, "rany", "logic")]:
+    _add(OpSpec(_name, ExecClass.REDUCTION, Format.R, OP_ROP, _funct,
+                operands=_RED_F, dest=("s", "rd"), srcs=(("f", "rs"),),
+                masked=True, reduction_unit=_unit))
+
+# Multiple-response resolver: identifies the first responder; "Unlike the
+# other reduction units, the output of the multiple response resolver is a
+# parallel value" (Section 6.4).
+_add(OpSpec("rfirst", ExecClass.REDUCTION, Format.R, OP_ROP, 10,
+            operands=(("freg", "rd"), ("freg", "rs")),
+            dest=("f", "rd"), srcs=(("f", "rs"),),
+            masked=True, reduction_unit="resolver", parallel_dest=True))
+
+
+ALL_MNEMONICS = tuple(sorted(OPCODES))

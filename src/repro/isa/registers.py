@@ -1,0 +1,115 @@
+"""Register file specifications and register-name parsing.
+
+The Multithreaded ASC Processor replicates machine state per hardware
+thread (Section 6 of the paper).  Per thread the ISA exposes:
+
+* 16 scalar registers ``s0..s15`` in the control unit.  ``s0`` is
+  hardwired to zero.  ``s14`` is the link register written by ``jal``
+  (alias ``ra``); ``s15`` is reserved as the assembler temporary
+  (alias ``at``) and may be clobbered by pseudo-instruction expansion.
+* 16 parallel registers ``p0..p15`` in every PE.  ``p0`` is hardwired to
+  zero in every PE.
+* 8 one-bit flag registers ``f0..f7`` in every PE ("Logical results from
+  comparisons ... become a first-class data type with their own set of
+  registers", Section 6.1).  ``f0`` is hardwired to one and serves as the
+  default "all PEs active" mask.
+"""
+
+from __future__ import annotations
+
+NUM_SCALAR_REGS = 16
+NUM_PARALLEL_REGS = 16
+NUM_FLAG_REGS = 8
+
+ZERO_REG = 0          # s0 / p0
+LINK_REG = 14         # s14, written by jal
+ASM_TEMP_REG = 15     # s15, assembler temporary
+ALWAYS_FLAG = 0       # f0, hardwired 1 (default mask)
+
+SCALAR_ALIASES = {
+    "zero": 0,
+    "ra": LINK_REG,
+    "at": ASM_TEMP_REG,
+}
+
+
+class RegisterError(ValueError):
+    """Raised for an out-of-range or malformed register name."""
+
+
+def _parse_indexed(name: str, prefix: str, count: int) -> int:
+    body = name[len(prefix):]
+    if not body.isdigit():
+        raise RegisterError(f"malformed register name: {name!r}")
+    idx = int(body)
+    if not 0 <= idx < count:
+        raise RegisterError(
+            f"register {name!r} out of range (valid: {prefix}0..{prefix}{count - 1})"
+        )
+    return idx
+
+
+def parse_scalar_reg(name: str) -> int:
+    """Parse ``s<k>`` (or an alias) into a scalar register index."""
+    name = name.lower().lstrip("$")
+    if name in SCALAR_ALIASES:
+        return SCALAR_ALIASES[name]
+    if name.startswith("s"):
+        return _parse_indexed(name, "s", NUM_SCALAR_REGS)
+    raise RegisterError(f"expected scalar register (s0..s15), got {name!r}")
+
+
+def parse_parallel_reg(name: str) -> int:
+    """Parse ``p<k>`` into a parallel register index."""
+    name = name.lower().lstrip("$")
+    if name.startswith("p"):
+        return _parse_indexed(name, "p", NUM_PARALLEL_REGS)
+    raise RegisterError(f"expected parallel register (p0..p15), got {name!r}")
+
+
+def parse_flag_reg(name: str) -> int:
+    """Parse ``f<k>`` into a flag register index."""
+    name = name.lower().lstrip("$")
+    if name.startswith("f"):
+        return _parse_indexed(name, "f", NUM_FLAG_REGS)
+    raise RegisterError(f"expected flag register (f0..f7), got {name!r}")
+
+
+def scalar_reg_name(idx: int) -> str:
+    """Canonical name of scalar register ``idx``."""
+    if not 0 <= idx < NUM_SCALAR_REGS:
+        raise RegisterError(f"scalar register index out of range: {idx}")
+    return f"s{idx}"
+
+
+def parallel_reg_name(idx: int) -> str:
+    """Canonical name of parallel register ``idx``."""
+    if not 0 <= idx < NUM_PARALLEL_REGS:
+        raise RegisterError(f"parallel register index out of range: {idx}")
+    return f"p{idx}"
+
+
+def flag_reg_name(idx: int) -> str:
+    """Canonical name of flag register ``idx``."""
+    if not 0 <= idx < NUM_FLAG_REGS:
+        raise RegisterError(f"flag register index out of range: {idx}")
+    return f"f{idx}"
+
+
+REGFILE_PARSERS = {
+    "s": parse_scalar_reg,
+    "p": parse_parallel_reg,
+    "f": parse_flag_reg,
+}
+
+REGFILE_NAMERS = {
+    "s": scalar_reg_name,
+    "p": parallel_reg_name,
+    "f": flag_reg_name,
+}
+
+REGFILE_SIZES = {
+    "s": NUM_SCALAR_REGS,
+    "p": NUM_PARALLEL_REGS,
+    "f": NUM_FLAG_REGS,
+}

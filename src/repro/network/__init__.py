@@ -1,0 +1,57 @@
+"""Broadcast/reduction network: latency math, structural trees, units."""
+
+from repro.network.tree import (
+    PipelinedBroadcastTree,
+    PipelinedReductionTree,
+    broadcast_latency,
+    reduction_latency,
+    tree_depth,
+    tree_internal_nodes,
+)
+from repro.network.reduction import (
+    REDUCTION_FNS,
+    any_responders,
+    count_responders,
+    reduce_and,
+    reduce_max,
+    reduce_max_unsigned,
+    reduce_min,
+    reduce_min_unsigned,
+    reduce_or,
+    reduce_sum,
+    resolve_first,
+)
+from repro.network.falkoff import (
+    FalkoffResult,
+    falkoff_cycles,
+    falkoff_max_signed,
+    falkoff_max_unsigned,
+    falkoff_min_signed,
+    falkoff_min_unsigned,
+)
+
+__all__ = [
+    "PipelinedBroadcastTree",
+    "PipelinedReductionTree",
+    "broadcast_latency",
+    "reduction_latency",
+    "tree_depth",
+    "tree_internal_nodes",
+    "REDUCTION_FNS",
+    "any_responders",
+    "count_responders",
+    "reduce_and",
+    "reduce_max",
+    "reduce_max_unsigned",
+    "reduce_min",
+    "reduce_min_unsigned",
+    "reduce_or",
+    "reduce_sum",
+    "resolve_first",
+    "FalkoffResult",
+    "falkoff_cycles",
+    "falkoff_max_signed",
+    "falkoff_max_unsigned",
+    "falkoff_min_signed",
+    "falkoff_min_unsigned",
+]

@@ -1,0 +1,106 @@
+"""Falkoff bit-serial maximum/minimum search.
+
+"The previous ASC Processors performed maximum/minimum reductions using
+the Falkoff algorithm, which processes one bit of the data word each
+cycle." (Section 6.4.)  The multithreaded processor replaces it with a
+pipelined tree; we keep the Falkoff algorithm as (a) the timing model of
+the legacy processors in :mod:`repro.baselines` and (b) a differential
+oracle for the tree-based max/min unit.
+
+The algorithm scans bit positions MSB → LSB maintaining a candidate set:
+at each position, if any candidate has the bit set, candidates without it
+are eliminated.  After W steps the candidates are exactly the PEs holding
+the maximum; the value is assembled from the surviving bits.  Each step
+needs one parallel bit-test plus one some/none reduction, i.e. the legacy
+(non-pipelined) hardware spends W cycles per max/min.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.bitops import (
+    mask_for_width,
+    min_signed,
+    max_signed,
+    np_to_signed,
+    np_to_unsigned,
+    to_unsigned,
+)
+
+
+@dataclass
+class FalkoffResult:
+    """Outcome of one bit-serial search."""
+
+    value: int              # unsigned W-bit pattern of the extremum
+    candidates: np.ndarray  # boolean PE vector of PEs holding the extremum
+    steps: int              # bit-steps taken (== word width)
+
+
+def falkoff_max_unsigned(values: np.ndarray, mask: np.ndarray,
+                         width: int) -> FalkoffResult:
+    """Bit-serial unsigned maximum over active PEs.
+
+    With no responders the value is the identity 0 and the candidate set
+    is empty, matching :func:`repro.network.reduction.reduce_max_unsigned`.
+    """
+    vec = np_to_unsigned(np.asarray(values, dtype=np.int64), width)
+    candidates = np.asarray(mask, dtype=bool).copy()
+    if candidates.shape != vec.shape:
+        raise ValueError("mask shape does not match values")
+    result = 0
+    for bit in range(width - 1, -1, -1):
+        has_bit = (vec >> bit) & 1 == 1
+        if (candidates & has_bit).any():
+            candidates &= has_bit
+            result |= 1 << bit
+    if not candidates.any():
+        result = 0
+    return FalkoffResult(result, candidates, width)
+
+
+def falkoff_min_unsigned(values: np.ndarray, mask: np.ndarray,
+                         width: int) -> FalkoffResult:
+    """Bit-serial unsigned minimum (search on complemented values)."""
+    ones = mask_for_width(width)
+    complement = ones - np_to_unsigned(np.asarray(values, dtype=np.int64),
+                                       width)
+    inverted = falkoff_max_unsigned(complement, mask, width)
+    value = ones - inverted.value if np.asarray(mask, bool).any() else ones
+    return FalkoffResult(value, inverted.candidates, width)
+
+
+def _bias(values: np.ndarray, width: int) -> np.ndarray:
+    """Map signed order onto unsigned order by flipping the sign bit."""
+    return np_to_unsigned(np.asarray(values, dtype=np.int64), width) ^ (
+        1 << (width - 1))
+
+
+def falkoff_max_signed(values: np.ndarray, mask: np.ndarray,
+                       width: int) -> FalkoffResult:
+    """Bit-serial signed maximum (sign-bit bias trick)."""
+    res = falkoff_max_unsigned(_bias(values, width), mask, width)
+    if not res.candidates.any():
+        return FalkoffResult(to_unsigned(min_signed(width), width),
+                             res.candidates, res.steps)
+    return FalkoffResult(res.value ^ (1 << (width - 1)), res.candidates,
+                         res.steps)
+
+
+def falkoff_min_signed(values: np.ndarray, mask: np.ndarray,
+                       width: int) -> FalkoffResult:
+    """Bit-serial signed minimum."""
+    res = falkoff_min_unsigned(_bias(values, width), mask, width)
+    if not res.candidates.any():
+        return FalkoffResult(to_unsigned(max_signed(width), width),
+                             res.candidates, res.steps)
+    return FalkoffResult(res.value ^ (1 << (width - 1)), res.candidates,
+                         res.steps)
+
+
+def falkoff_cycles(width: int) -> int:
+    """Cycles the legacy bit-serial unit needs per max/min reduction."""
+    return width

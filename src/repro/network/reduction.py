@@ -1,0 +1,158 @@
+"""Functional semantics of the reduction units (Section 6.4).
+
+Every unit reduces the values of *active* PEs (those whose instruction
+mask flag is set — the associative responders).  When no PE is active the
+unit returns the identity element of its operation, which is what a
+hardware combining tree fed identity values at inactive leaves produces.
+
+Units and their paper descriptions:
+
+* **Logic unit** — bitwise AND/OR of integers and flags ("a pipelined
+  tree of OR gates with bypassable inverters before and after the tree").
+* **Maximum/minimum unit** — signed and unsigned max/min ("a pipelined
+  tree-based structure", replacing the Falkoff algorithm of the earlier
+  ASC processors).
+* **Sum unit** — saturating sum ("If overflow occurs while computing the
+  sum, the result is saturated to the largest or smallest representable
+  value").
+* **Response counter** — exact count of responders.
+* **Multiple response resolver** — "identifies the first responder in a
+  set"; implemented as a parallel prefix; the output is parallel-valued.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.bitops import (
+    mask_for_width,
+    max_signed,
+    min_signed,
+    np_to_signed,
+    np_to_unsigned,
+    saturate_signed,
+    to_unsigned,
+)
+
+
+def _as_vec(values: np.ndarray) -> np.ndarray:
+    vec = np.asarray(values, dtype=np.int64)
+    if vec.ndim != 1:
+        raise ValueError(f"expected a 1-D PE vector, got shape {vec.shape}")
+    return vec
+
+
+def _as_mask(mask: np.ndarray, n: int) -> np.ndarray:
+    m = np.asarray(mask, dtype=bool)
+    if m.shape != (n,):
+        raise ValueError(f"mask shape {m.shape} does not match {n} PEs")
+    return m
+
+
+def reduce_and(values: np.ndarray, mask: np.ndarray, width: int) -> int:
+    """Bitwise AND across active PEs; identity is the all-ones word."""
+    vec = _as_vec(values)
+    m = _as_mask(mask, vec.shape[0])
+    ones = mask_for_width(width)
+    padded = np.where(m, np_to_unsigned(vec, width), ones)
+    return int(np.bitwise_and.reduce(padded, initial=ones))
+
+
+def reduce_or(values: np.ndarray, mask: np.ndarray, width: int) -> int:
+    """Bitwise OR across active PEs; identity is 0.
+
+    Also implements ``rget``: with a single-responder mask the OR returns
+    exactly that responder's value.
+    """
+    vec = _as_vec(values)
+    m = _as_mask(mask, vec.shape[0])
+    padded = np.where(m, np_to_unsigned(vec, width), 0)
+    return int(np.bitwise_or.reduce(padded, initial=0))
+
+
+def reduce_max(values: np.ndarray, mask: np.ndarray, width: int) -> int:
+    """Signed maximum; identity (no responders) is the most negative word."""
+    vec = _as_vec(values)
+    m = _as_mask(mask, vec.shape[0])
+    signed = np.where(m, np_to_signed(vec, width), min_signed(width))
+    return to_unsigned(int(signed.max(initial=min_signed(width))), width)
+
+
+def reduce_min(values: np.ndarray, mask: np.ndarray, width: int) -> int:
+    """Signed minimum; identity is the most positive word."""
+    vec = _as_vec(values)
+    m = _as_mask(mask, vec.shape[0])
+    signed = np.where(m, np_to_signed(vec, width), max_signed(width))
+    return to_unsigned(int(signed.min(initial=max_signed(width))), width)
+
+
+def reduce_max_unsigned(values: np.ndarray, mask: np.ndarray,
+                        width: int) -> int:
+    """Unsigned maximum; identity is 0."""
+    vec = _as_vec(values)
+    m = _as_mask(mask, vec.shape[0])
+    padded = np.where(m, np_to_unsigned(vec, width), 0)
+    return int(padded.max(initial=0))
+
+
+def reduce_min_unsigned(values: np.ndarray, mask: np.ndarray,
+                        width: int) -> int:
+    """Unsigned minimum; identity is the all-ones word."""
+    vec = _as_vec(values)
+    m = _as_mask(mask, vec.shape[0])
+    ones = mask_for_width(width)
+    padded = np.where(m, np_to_unsigned(vec, width), ones)
+    return int(padded.min(initial=ones))
+
+
+def reduce_sum(values: np.ndarray, mask: np.ndarray, width: int) -> int:
+    """Saturating signed sum across active PEs; identity is 0.
+
+    The hardware adder tree saturates at every node; because saturation
+    arithmetic is monotone, saturating the exact wide sum gives the same
+    final result as node-by-node saturation for same-signed overflow
+    chains, and we adopt it as the architectural definition.
+    """
+    vec = _as_vec(values)
+    m = _as_mask(mask, vec.shape[0])
+    total = int(np.where(m, np_to_signed(vec, width), 0).sum())
+    return saturate_signed(total, width)
+
+
+def count_responders(flags: np.ndarray, mask: np.ndarray) -> int:
+    """Exact number of active PEs whose flag is set (response counter)."""
+    f = np.asarray(flags, dtype=bool)
+    m = _as_mask(mask, f.shape[0])
+    return int(np.count_nonzero(f & m))
+
+
+def any_responders(flags: np.ndarray, mask: np.ndarray) -> int:
+    """Some/none test: 1 if any active PE's flag is set, else 0."""
+    return 1 if count_responders(flags, mask) else 0
+
+
+def resolve_first(flags: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Multiple response resolver: boolean vector selecting the first
+    responder (lowest-numbered active PE with its flag set).
+
+    Implemented, like the hardware, as a parallel prefix: a PE is *the*
+    first responder iff it responds and no lower-numbered PE does.
+    """
+    f = np.asarray(flags, dtype=bool)
+    m = _as_mask(mask, f.shape[0])
+    responders = f & m
+    return responders & (np.cumsum(responders) == 1)
+
+
+# Dispatch table keyed by reduction mnemonic: (function, needs_width,
+# source regfile).  ``rget`` shares the OR tree (see reduce_or docstring).
+REDUCTION_FNS = {
+    "rand": (reduce_and, "p"),
+    "ror": (reduce_or, "p"),
+    "rget": (reduce_or, "p"),
+    "rmax": (reduce_max, "p"),
+    "rmin": (reduce_min, "p"),
+    "rmaxu": (reduce_max_unsigned, "p"),
+    "rminu": (reduce_min_unsigned, "p"),
+    "rsum": (reduce_sum, "p"),
+}

@@ -1,0 +1,150 @@
+"""Pipelined tree network machinery: latency math and structural models.
+
+Section 4 of the paper: "A pipelined broadcast network is a k-ary tree
+with a register at each node.  It can accept a new instruction each clock
+cycle and it delivers an instruction to the PE array after a latency of
+log_k n cycles ... A pipelined reduction network is similar except that
+data flows in the opposite direction and at each node a functional unit
+combines k values together before storing the result in a register."
+
+Two layers are provided:
+
+* pure latency/geometry math (:func:`broadcast_latency`,
+  :func:`reduction_latency`, :func:`tree_internal_nodes`) used by the
+  cycle-accurate core and the FPGA resource model; and
+* structural register-by-register models
+  (:class:`PipelinedBroadcastTree`, :class:`PipelinedReductionTree`) that
+  move values through the tree one level per :meth:`tick`, used by the
+  network unit tests to verify the latency math and the 1 op/cycle
+  initiation rate, and by the Figure-2 trace machinery.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+
+def _check_arity(k: int) -> None:
+    if k < 2:
+        raise ValueError(f"tree arity must be >= 2, got {k}")
+
+
+def tree_depth(p: int, k: int) -> int:
+    """Number of levels of k-ary combining needed to span ``p`` leaves."""
+    _check_arity(k)
+    if p < 1:
+        raise ValueError(f"need at least one leaf, got {p}")
+    return max(1, math.ceil(math.log(p, k))) if p > 1 else 1
+
+
+def broadcast_latency(p: int, k: int) -> int:
+    """Cycles for an instruction/datum to travel control unit → PEs.
+
+    ``ceil(log_k p)``, minimum 1 (even a single-PE machine registers the
+    broadcast once).
+    """
+    return tree_depth(p, k)
+
+
+def reduction_latency(p: int) -> int:
+    """Cycles for a value to travel PEs → control unit.
+
+    The paper's reduction units are binary trees: ``ceil(log2 p)``,
+    minimum 1.
+    """
+    return tree_depth(p, 2)
+
+
+def tree_internal_nodes(p: int, k: int) -> int:
+    """Number of internal (registered) nodes in a k-ary tree over p leaves.
+
+    Used by the FPGA resource model: each internal node contributes one
+    register (broadcast) or one functional unit + register (reduction).
+    """
+    _check_arity(k)
+    count = 0
+    level = p
+    while level > 1:
+        level = math.ceil(level / k)
+        count += level
+    return max(count, 1)
+
+
+class PipelinedBroadcastTree:
+    """Structural model of the broadcast tree: one register per level.
+
+    ``tick(value)`` advances the pipeline one cycle, inserting ``value``
+    at the root; the return value is what reaches the PEs this cycle
+    (``None`` while the pipe is still filling).  Initiation rate is one
+    broadcast per tick by construction.
+    """
+
+    def __init__(self, num_pes: int, arity: int = 2) -> None:
+        self.num_pes = num_pes
+        self.arity = arity
+        self.latency = broadcast_latency(num_pes, arity)
+        self._stages: list[object | None] = [None] * self.latency
+
+    def tick(self, value: object | None = None) -> object | None:
+        out = self._stages[-1]
+        self._stages[1:] = self._stages[:-1]
+        self._stages[0] = value
+        return out
+
+    @property
+    def in_flight(self) -> int:
+        return sum(1 for s in self._stages if s is not None)
+
+
+class PipelinedReductionTree:
+    """Structural model of one reduction unit: a binary combining tree.
+
+    Each :meth:`tick` accepts one input vector (one element per PE, or
+    ``None`` for a bubble) and performs one level of combining on every
+    value in flight; a result pops out after exactly ``latency`` ticks.
+    ``combine`` is a binary, associative, vectorized function
+    (e.g. ``np.maximum``); ``identity`` pads odd groups.
+    """
+
+    def __init__(self, num_pes: int,
+                 combine: Callable[[np.ndarray, np.ndarray], np.ndarray],
+                 identity: int) -> None:
+        self.num_pes = num_pes
+        self.combine = combine
+        self.identity = identity
+        self.latency = reduction_latency(num_pes)
+        self._stages: list[np.ndarray | None] = [None] * self.latency
+
+    def _combine_level(self, values: np.ndarray) -> np.ndarray:
+        n = values.shape[0]
+        if n == 1:
+            return values
+        if n % 2:
+            values = np.concatenate(
+                [values, np.array([self.identity], dtype=values.dtype)])
+        return self.combine(values[0::2], values[1::2])
+
+    def tick(self, values: np.ndarray | None = None) -> int | None:
+        """Advance one cycle; returns a completed scalar result or None."""
+        done = self._stages[-1]
+        for i in range(self.latency - 1, 0, -1):
+            prev = self._stages[i - 1]
+            self._stages[i] = (None if prev is None
+                               else self._combine_level(prev))
+        if values is None:
+            self._stages[0] = None
+        else:
+            vec = np.asarray(values, dtype=np.int64)
+            if vec.shape != (self.num_pes,):
+                raise ValueError(
+                    f"expected {self.num_pes} leaf values, got {vec.shape}")
+            self._stages[0] = self._combine_level(vec)
+        if done is None:
+            return None
+        result = done
+        while result.shape[0] > 1:
+            result = self._combine_level(result)
+        return int(result[0])

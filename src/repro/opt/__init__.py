@@ -1,0 +1,22 @@
+"""Static optimization passes: basic blocks + latency-aware scheduling."""
+
+from repro.opt.blocks import BasicBlock, basic_blocks, is_barrier, is_control
+from repro.opt.scheduler import (
+    ListScheduler,
+    build_dag,
+    raw_edge_latency,
+    schedule_block,
+    schedule_program,
+)
+
+__all__ = [
+    "BasicBlock",
+    "basic_blocks",
+    "is_barrier",
+    "is_control",
+    "ListScheduler",
+    "build_dag",
+    "raw_edge_latency",
+    "schedule_block",
+    "schedule_program",
+]

@@ -1,0 +1,84 @@
+"""Basic-block analysis over assembled programs.
+
+The static instruction scheduler (paper Section 5: "The compiler or
+programmer could schedule the instructions in order to diminish the
+number of stall cycles") reorders instructions only *within* basic
+blocks, so control-flow targets — which are always block leaders — keep
+their absolute addresses and no branch offset or jump target ever needs
+fixing up.
+
+Leaders are: the entry point, every label target, every instruction
+following a control transfer, and every instruction following a
+scheduling barrier (thread management, halt), which we also terminate
+blocks on so cross-thread effects keep program order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asm.program import Program
+from repro.isa.instruction import Instruction
+
+
+def is_control(instr: Instruction) -> bool:
+    """Control transfers end a block and stay in final position."""
+    spec = instr.spec
+    return spec.is_branch or spec.is_jump or spec.is_halt
+
+
+def is_barrier(instr: Instruction) -> bool:
+    """Instructions the scheduler must not move or move across.
+
+    Thread management touches other threads' state (tput/tget) or
+    machine-level state (tspawn/texit/tjoin/halt); keeping them fixed is
+    the conservative-but-correct choice.
+    """
+    return instr.spec.is_thread_op or instr.spec.is_halt
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line region ``[start, end)`` of the program."""
+
+    start: int
+    end: int
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    @property
+    def range(self) -> range:
+        return range(self.start, self.end)
+
+
+def basic_blocks(program: Program) -> list[BasicBlock]:
+    """Partition the program into basic blocks."""
+    n = len(program.instructions)
+    if n == 0:
+        return []
+    leaders = {0, program.entry}
+    for addr in program.symbols.values():
+        if 0 <= addr < n:
+            leaders.add(addr)
+    for pc, instr in enumerate(program.instructions):
+        spec = instr.spec
+        if is_control(instr) or is_barrier(instr):
+            if pc + 1 < n:
+                leaders.add(pc + 1)
+        if spec.is_branch:
+            target = pc + 1 + instr.imm
+            if 0 <= target < n:
+                leaders.add(target)
+        if spec.fmt.value == "J":
+            if 0 <= instr.target < n:
+                leaders.add(instr.target)
+        if spec.mnemonic == "tspawn" and 0 <= instr.imm < n:
+            leaders.add(instr.imm)
+    ordered = sorted(leaders)
+    blocks = []
+    for i, start in enumerate(ordered):
+        end = ordered[i + 1] if i + 1 < len(ordered) else n
+        if end > start:
+            blocks.append(BasicBlock(start, end))
+    return blocks

@@ -1,0 +1,227 @@
+"""Latency-aware static instruction scheduling (list scheduling).
+
+Implements the ILP alternative the paper weighs against multithreading
+(Section 5): "The compiler or programmer could schedule the instructions
+in order to diminish the number of stall cycles, but the exact latency
+of reduction instructions depends on the number of PEs ... Furthermore,
+for a large machine, the latency could be much higher than the degree of
+instruction-level parallelism (ILP) in the code."
+
+The pass builds a dependence DAG per basic block (RAW/WAR/WAW over all
+three register files including execution masks, conservative memory
+ordering per address space) with RAW edges weighted by the *same*
+latency model the cycle-accurate core enforces, then list-schedules by
+critical-path priority.  Because the scheduler targets a specific
+:class:`ProcessorConfig`, its effectiveness is machine-dependent —
+exactly the compile-time-unknown-latency problem the paper points out,
+which experiment E10 quantifies.
+
+Semantics preservation: reordering respects every data/memory/control
+dependence, control transfers stay in final position, barriers (thread
+ops, halt) are immovable, and blocks keep their extents so no label or
+branch offset changes.  The tests re-run every kernel after scheduling
+and require identical architectural outputs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.asm.program import Program
+from repro.core import timing
+from repro.core.config import ProcessorConfig
+from repro.isa.instruction import Instruction
+from repro.opt.blocks import BasicBlock, basic_blocks, is_barrier, is_control
+
+
+def raw_edge_latency(producer: Instruction, consumer: Instruction,
+                     regfile: str, cfg: ProcessorConfig) -> int:
+    """Minimum issue-cycle gap for a RAW dependence (>= 1).
+
+    Mirrors the core's scoreboard math: the consumer may issue once the
+    producer's result cycle precedes the consumer's read point.
+    """
+    roff = timing.result_offset(producer.spec, cfg)
+    if roff is None:
+        return 1
+    read_off = (timing.SCALAR_READ_OFFSET if regfile == "s"
+                else timing.parallel_read_offset(cfg))
+    return max(1, roff + 1 - read_off)
+
+
+@dataclass
+class DepNode:
+    """One instruction in the block's dependence DAG."""
+
+    index: int                      # position within the block
+    instr: Instruction
+    succs: dict[int, int] = field(default_factory=dict)  # succ -> latency
+    num_preds: int = 0
+    priority: int = 0               # critical-path length to block exit
+
+    def add_succ(self, other: "DepNode", latency: int) -> None:
+        prev = self.succs.get(other.index)
+        if prev is None or latency > prev:
+            if prev is None:
+                other.num_preds += 1
+            self.succs[other.index] = latency
+
+
+def _mem_space(instr: Instruction) -> str | None:
+    spec = instr.spec
+    if not (spec.is_load or spec.is_store):
+        return None
+    return "scalar" if spec.exec_class.value == "scalar" else "lmem"
+
+
+def build_dag(instrs: list[Instruction], cfg: ProcessorConfig,
+              ) -> list[DepNode]:
+    """Dependence DAG for one basic block's instructions."""
+    nodes = [DepNode(i, ins) for i, ins in enumerate(instrs)]
+    last_writer: dict[tuple[str, int], DepNode] = {}
+    readers: dict[tuple[str, int], list[DepNode]] = {}
+    last_store: dict[str, DepNode] = {}
+    loads_since_store: dict[str, list[DepNode]] = {"scalar": [], "lmem": []}
+    last_barrier: DepNode | None = None
+
+    for node in nodes:
+        instr = node.instr
+        # Barriers order against everything before them.
+        if is_barrier(instr) or is_control(instr):
+            for prev in nodes[:node.index]:
+                prev.add_succ(node, 1)
+        if last_barrier is not None:
+            last_barrier.add_succ(node, 1)
+        if is_barrier(instr):
+            last_barrier = node
+
+        # RAW: sources depend on the last writer.
+        for regfile, idx in instr.src_regs():
+            writer = last_writer.get((regfile, idx))
+            if writer is not None:
+                writer.add_succ(node,
+                                raw_edge_latency(writer.instr, instr,
+                                                 regfile, cfg))
+            readers.setdefault((regfile, idx), []).append(node)
+
+        # WAR + WAW for the destination.
+        dest = instr.dest_reg()
+        if dest is not None:
+            for reader in readers.get(dest, []):
+                if reader is not node:
+                    reader.add_succ(node, 1)
+            writer = last_writer.get(dest)
+            if writer is not None:
+                writer.add_succ(node, 1)
+            last_writer[dest] = node
+            readers[dest] = []
+
+        # Memory ordering (conservative, per address space).
+        space = _mem_space(instr)
+        if space is not None:
+            if instr.spec.is_store:
+                prev_store = last_store.get(space)
+                if prev_store is not None:
+                    prev_store.add_succ(node, 1)
+                for load in loads_since_store[space]:
+                    load.add_succ(node, 1)
+                last_store[space] = node
+                loads_since_store[space] = []
+            else:
+                prev_store = last_store.get(space)
+                if prev_store is not None:
+                    prev_store.add_succ(node, 1)
+                loads_since_store[space].append(node)
+
+    # Critical-path priorities (reverse topological order = reverse
+    # index order, since all edges go forward in a basic block).
+    for node in reversed(nodes):
+        node.priority = max(
+            (lat + nodes[succ].priority
+             for succ, lat in node.succs.items()), default=0)
+    return nodes
+
+
+def schedule_block(instrs: list[Instruction], cfg: ProcessorConfig,
+                   ) -> list[Instruction]:
+    """List-schedule one basic block; returns the new instruction order."""
+    if len(instrs) <= 1:
+        return list(instrs)
+    nodes = build_dag(instrs, cfg)
+    earliest = [0] * len(nodes)
+    preds_left = [n.num_preds for n in nodes]
+    # ``ready``: issuable now, ordered by critical-path priority (original
+    # index as a stable tiebreak).  ``pending``: dependences satisfied but
+    # result latency not yet elapsed, ordered by earliest issue time.
+    ready: list[tuple[int, int]] = []
+    pending: list[tuple[int, int, int]] = []
+    for node in nodes:
+        if preds_left[node.index] == 0:
+            heapq.heappush(ready, (-node.priority, node.index))
+
+    order: list[Instruction] = []
+    clock = 0
+    while ready or pending:
+        while pending and pending[0][0] <= clock:
+            _, negprio, idx = heapq.heappop(pending)
+            heapq.heappush(ready, (negprio, idx))
+        if not ready:
+            clock = pending[0][0]
+            continue
+        _, idx = heapq.heappop(ready)
+        node = nodes[idx]
+        order.append(node.instr)
+        issue = clock
+        clock += 1
+        for succ, lat in node.succs.items():
+            earliest[succ] = max(earliest[succ], issue + lat)
+            preds_left[succ] -= 1
+            if preds_left[succ] == 0:
+                if earliest[succ] <= clock:
+                    heapq.heappush(ready, (-nodes[succ].priority, succ))
+                else:
+                    heapq.heappush(pending,
+                                   (earliest[succ], -nodes[succ].priority,
+                                    succ))
+    assert len(order) == len(instrs)
+    return order
+
+
+class ListScheduler:
+    """Whole-program static scheduler targeting one machine config."""
+
+    def __init__(self, cfg: ProcessorConfig) -> None:
+        self.cfg = cfg
+
+    def run(self, program: Program) -> Program:
+        """Return a new, semantically equivalent, scheduled Program."""
+        new_instrs: list[Instruction] = list(program.instructions)
+        for block in basic_blocks(program):
+            block_in = program.instructions[block.start:block.end]
+            block_out = self.schedule_block_instrs(block_in)
+            new_instrs[block.start:block.end] = block_out
+        scheduled = Program(
+            instructions=new_instrs,
+            data=list(program.data),
+            symbols=dict(program.symbols),
+            entry=program.entry,
+        )
+        # Source map: best effort — map by identity of Instruction objects.
+        by_id = {id(ins): src for pc, ins in enumerate(program.instructions)
+                 for src in [program.source_map.get(pc)] if src is not None}
+        for pc, ins in enumerate(new_instrs):
+            src = by_id.get(id(ins))
+            if src is not None:
+                scheduled.source_map[pc] = src
+        return scheduled
+
+    def schedule_block_instrs(self, instrs: list[Instruction],
+                              ) -> list[Instruction]:
+        """Schedule one block, keeping control/barrier placement legal."""
+        return schedule_block(instrs, self.cfg)
+
+
+def schedule_program(program: Program, cfg: ProcessorConfig) -> Program:
+    """Convenience wrapper around :class:`ListScheduler`."""
+    return ListScheduler(cfg).run(program)

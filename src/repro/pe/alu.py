@@ -1,0 +1,166 @@
+"""Vectorized PE ALU: execution semantics of parallel instructions.
+
+"The ALU supports a standard set of arithmetic, logic, and comparison
+operations.  Logic operations are supported for both integers (bitwise
+logic) and flags.  Comparisons operate on integers and produce flag
+results." (Section 6.2)
+
+All integer operations act on unsigned ``W``-bit patterns held in int64
+arrays and wrap results back into range.  Shifts clamp the effective
+amount at 31 (shifting by ≥ W produces 0 / the sign fill).  Division is
+signed, truncates toward zero, and defines division by zero to produce
+the all-ones pattern (a fixed hardware-defined value, so programs are
+deterministic and the simulator never traps).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.util.bitops import (
+    mask_for_width,
+    np_to_signed,
+    np_to_unsigned,
+)
+
+_MAX_SHIFT = 31
+
+
+def _shift_amounts(b: np.ndarray, width: int) -> tuple[np.ndarray, np.ndarray]:
+    """Clamped shift counts and an 'overshift' (count >= width) mask."""
+    counts = np.minimum(b & mask_for_width(6), _MAX_SHIFT)
+    return counts, counts >= width
+
+
+def alu_add(a: np.ndarray, b: np.ndarray, width: int) -> np.ndarray:
+    return np_to_unsigned(a + b, width)
+
+
+def alu_sub(a: np.ndarray, b: np.ndarray, width: int) -> np.ndarray:
+    return np_to_unsigned(a - b, width)
+
+
+def alu_and(a: np.ndarray, b: np.ndarray, width: int) -> np.ndarray:
+    return np_to_unsigned(a & b, width)
+
+
+def alu_or(a: np.ndarray, b: np.ndarray, width: int) -> np.ndarray:
+    return np_to_unsigned(a | b, width)
+
+
+def alu_xor(a: np.ndarray, b: np.ndarray, width: int) -> np.ndarray:
+    return np_to_unsigned(a ^ b, width)
+
+
+def alu_nor(a: np.ndarray, b: np.ndarray, width: int) -> np.ndarray:
+    return np_to_unsigned(~(a | b), width)
+
+
+def alu_sll(a: np.ndarray, b: np.ndarray, width: int) -> np.ndarray:
+    counts, over = _shift_amounts(b, width)
+    shifted = np.left_shift(np_to_unsigned(a, width), counts)
+    return np_to_unsigned(np.where(over, 0, shifted), width)
+
+
+def alu_srl(a: np.ndarray, b: np.ndarray, width: int) -> np.ndarray:
+    counts, over = _shift_amounts(b, width)
+    shifted = np.right_shift(np_to_unsigned(a, width), counts)
+    return np_to_unsigned(np.where(over, 0, shifted), width)
+
+
+def alu_sra(a: np.ndarray, b: np.ndarray, width: int) -> np.ndarray:
+    counts, over = _shift_amounts(b, width)
+    signed = np_to_signed(a, width)
+    fill = np.where(signed < 0, -1, 0)
+    shifted = np.right_shift(signed, counts)
+    return np_to_unsigned(np.where(over, fill, shifted), width)
+
+
+def alu_mul(a: np.ndarray, b: np.ndarray, width: int) -> np.ndarray:
+    # Low W bits of the product; identical for signed/unsigned operands.
+    return np_to_unsigned(np_to_unsigned(a, width) * np_to_unsigned(b, width),
+                          width)
+
+
+def alu_div(a: np.ndarray, b: np.ndarray, width: int) -> np.ndarray:
+    sa, sb = np_to_signed(a, width), np_to_signed(b, width)
+    zero = sb == 0
+    safe = np.where(zero, 1, sb)
+    # Truncate toward zero (C semantics), unlike numpy's floor division.
+    quotient = np.trunc(sa / safe).astype(np.int64)
+    return np.where(zero, mask_for_width(width),
+                    np_to_unsigned(quotient, width))
+
+
+def alu_slt(a: np.ndarray, b: np.ndarray, width: int) -> np.ndarray:
+    return (np_to_signed(a, width) < np_to_signed(b, width)).astype(np.int64)
+
+
+def alu_sltu(a: np.ndarray, b: np.ndarray, width: int) -> np.ndarray:
+    return (np_to_unsigned(a, width) < np_to_unsigned(b, width)).astype(np.int64)
+
+
+# Comparison predicates returning boolean flag vectors.
+
+def cmp_eq(a: np.ndarray, b: np.ndarray, width: int) -> np.ndarray:
+    return np_to_unsigned(a, width) == np_to_unsigned(b, width)
+
+
+def cmp_ne(a: np.ndarray, b: np.ndarray, width: int) -> np.ndarray:
+    return ~cmp_eq(a, b, width)
+
+
+def cmp_lt(a: np.ndarray, b: np.ndarray, width: int) -> np.ndarray:
+    return np_to_signed(a, width) < np_to_signed(b, width)
+
+
+def cmp_le(a: np.ndarray, b: np.ndarray, width: int) -> np.ndarray:
+    return np_to_signed(a, width) <= np_to_signed(b, width)
+
+
+def cmp_ltu(a: np.ndarray, b: np.ndarray, width: int) -> np.ndarray:
+    return np_to_unsigned(a, width) < np_to_unsigned(b, width)
+
+
+def cmp_leu(a: np.ndarray, b: np.ndarray, width: int) -> np.ndarray:
+    return np_to_unsigned(a, width) <= np_to_unsigned(b, width)
+
+
+AluFn = Callable[[np.ndarray, np.ndarray, int], np.ndarray]
+
+# Base operation name → vectorized implementation.  The instruction layer
+# maps mnemonics (padd/padds/paddi/add/addi...) onto these base ops.
+INT_OPS: dict[str, AluFn] = {
+    "add": alu_add,
+    "sub": alu_sub,
+    "and": alu_and,
+    "or": alu_or,
+    "xor": alu_xor,
+    "nor": alu_nor,
+    "sll": alu_sll,
+    "srl": alu_srl,
+    "sra": alu_sra,
+    "mul": alu_mul,
+    "div": alu_div,
+    "slt": alu_slt,
+    "sltu": alu_sltu,
+}
+
+CMP_OPS: dict[str, AluFn] = {
+    "ceq": cmp_eq,
+    "cne": cmp_ne,
+    "clt": cmp_lt,
+    "cle": cmp_le,
+    "cltu": cmp_ltu,
+    "cleu": cmp_leu,
+}
+
+# Flag-register logic (boolean arrays in, boolean out).
+FLAG_OPS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "fand": lambda a, b: a & b,
+    "for": lambda a, b: a | b,
+    "fxor": lambda a, b: a ^ b,
+    "fandn": lambda a, b: a & ~b,
+}

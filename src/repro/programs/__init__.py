@@ -1,0 +1,63 @@
+"""Kernel library, workload generators, and the kernel runner."""
+
+from repro.programs.kernels import (
+    ALL_KERNEL_BUILDERS,
+    Kernel,
+    assoc_max_extract,
+    count_matches,
+    database_query,
+    histogram,
+    image_threshold,
+    knn_search,
+    mst_prim,
+    multiword_add,
+    reduction_storm,
+    skyline_2d,
+    string_match,
+    vector_mac,
+)
+from repro.programs.runner import (
+    KernelRun,
+    KernelSetupError,
+    extract_outputs,
+    run_kernel,
+    run_kernel_functional,
+    verify_kernel,
+)
+from repro.programs.streaming import (
+    StreamingError,
+    TiledReducer,
+    TileResult,
+    split_tiles,
+    stream_statistics,
+)
+from repro.programs import workloads
+
+__all__ = [
+    "ALL_KERNEL_BUILDERS",
+    "Kernel",
+    "assoc_max_extract",
+    "count_matches",
+    "database_query",
+    "histogram",
+    "image_threshold",
+    "knn_search",
+    "mst_prim",
+    "multiword_add",
+    "reduction_storm",
+    "skyline_2d",
+    "string_match",
+    "vector_mac",
+    "KernelRun",
+    "KernelSetupError",
+    "extract_outputs",
+    "run_kernel",
+    "run_kernel_functional",
+    "verify_kernel",
+    "StreamingError",
+    "TiledReducer",
+    "TileResult",
+    "split_tiles",
+    "stream_statistics",
+    "workloads",
+]

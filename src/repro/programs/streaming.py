@@ -1,0 +1,165 @@
+"""Tiled (streaming) execution for datasets larger than the PE array.
+
+Section 6.2 calls PE local memory "a programmer- or compiler-managed
+cache": datasets larger than ``num_pes`` records are processed in tiles,
+with the host swapping local-memory contents between kernel invocations
+and combining the per-tile results — the software half of the paper's
+memory hierarchy (the prototype's off-chip path itself is future work).
+
+:class:`TiledReducer` implements the common pattern: a dataset of one or
+more aligned columns is split into ``num_pes``-sized tiles; a compiled
+query (or any per-tile runner) produces per-tile partial results; a
+combiner folds them.  Because the machine's reductions have well-defined
+identity elements, partially filled final tiles are handled by masking
+on a validity column, not by special-casing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.config import ProcessorConfig
+from repro.core.processor import Processor
+
+
+class StreamingError(ValueError):
+    """Inconsistent columns or an empty dataset."""
+
+
+@dataclass
+class TileResult:
+    """One tile's outputs plus bookkeeping."""
+
+    tile_index: int
+    base: int          # dataset offset of the tile's first record
+    count: int         # valid records in this tile
+    outputs: dict[str, int]
+    cycles: int
+
+
+def split_tiles(columns: dict[int, np.ndarray], num_pes: int,
+                ) -> list[tuple[int, dict[int, np.ndarray], np.ndarray]]:
+    """Split aligned dataset columns into per-tile lmem images.
+
+    Returns ``(base, tile_columns, valid_mask)`` triples; the final tile
+    is zero-padded and its validity mask marks the padding.
+    """
+    if not columns:
+        raise StreamingError("no columns supplied")
+    lengths = {len(v) for v in columns.values()}
+    if len(lengths) != 1:
+        raise StreamingError(f"columns have differing lengths: {lengths}")
+    total = lengths.pop()
+    if total == 0:
+        raise StreamingError("dataset is empty")
+    tiles = []
+    for base in range(0, total, num_pes):
+        count = min(num_pes, total - base)
+        tile_cols = {}
+        for col, values in columns.items():
+            padded = np.zeros(num_pes, dtype=np.int64)
+            padded[:count] = values[base:base + count]
+            tile_cols[col] = padded
+        valid = np.zeros(num_pes, dtype=np.int64)
+        valid[:count] = 1
+        tiles.append((base, tile_cols, valid))
+    return tiles
+
+
+class TiledReducer:
+    """Run a per-tile program over a large dataset and fold the results.
+
+    ``run_tile(processor) -> dict`` executes the already-loaded tile and
+    extracts named outputs; ``combine(accumulator, tile_outputs, tile)``
+    folds them (returns the new accumulator).  The validity column index
+    ``valid_col`` receives the 1/0 padding mask each tile.
+    """
+
+    def __init__(self, cfg: ProcessorConfig, program,
+                 run_tile: Callable[[Processor], dict[str, int]],
+                 valid_col: int) -> None:
+        self.cfg = cfg
+        self.program = program
+        self.run_tile = run_tile
+        self.valid_col = valid_col
+        self.processor = Processor(cfg)
+
+    def run(self, columns: dict[int, np.ndarray],
+            combine: Callable, initial) -> tuple[object, list[TileResult]]:
+        """Process every tile; returns (folded result, per-tile records)."""
+        acc = initial
+        records = []
+        for i, (base, tile_cols, valid) in enumerate(
+                split_tiles(columns, self.cfg.num_pes)):
+            proc = self.processor
+            proc.load(self.program)
+            for col, values in tile_cols.items():
+                proc.pe.set_lmem_column(col, values)
+            proc.pe.set_lmem_column(self.valid_col, valid)
+            outputs = self.run_tile(proc)
+            tile = TileResult(i, base, int(valid.sum()), outputs,
+                              proc.stats.cycles)
+            acc = combine(acc, outputs, tile)
+            records.append(tile)
+        return acc, records
+
+
+# ---------------------------------------------------------------------------
+# Ready-made streaming aggregations used by the tests and examples.
+# ---------------------------------------------------------------------------
+
+_STREAM_QUERY = """
+# cols: 0 = values, 1 = valid flag (1 for real records, 0 for padding)
+.text
+main:
+    plw    p1, 0(p0)
+    plw    p2, 1(p0)
+    fclr   f1
+    pceqi  f1, p2, 1        # responders = valid records
+    rmaxu  s1, p1 [f1]
+    rminu  s2, p1 [f1]
+    rsum   s3, p1 [f1]
+    rcount s4, f1
+    halt
+"""
+
+
+def stream_statistics(values: np.ndarray, cfg: ProcessorConfig,
+                      ) -> tuple[dict[str, int], list[TileResult]]:
+    """Max / min / (python-summed exact) total / count over a dataset of
+    any size, processed tile by tile on the simulator.
+
+    The per-tile sum uses the saturating ``rsum`` unit, so the exact
+    grand total is accumulated host-side from per-tile counts only when
+    tiles stay within the saturation bound; the combiner checks this and
+    records saturation honestly.
+    """
+    from repro.asm.assembler import assemble
+    from repro.util.bitops import max_signed
+
+    program = assemble(_STREAM_QUERY, word_width=cfg.word_width)
+
+    def run_tile(proc: Processor) -> dict[str, int]:
+        result = proc.run()
+        return {"max": result.scalar(1), "min": result.scalar(2),
+                "sum": result.scalar(3), "count": result.scalar(4)}
+
+    def combine(acc, out, tile):
+        sat = max_signed(cfg.word_width)
+        return {
+            "max": max(acc["max"], out["max"]),
+            "min": min(acc["min"], out["min"]),
+            "sum": acc["sum"] + out["sum"],
+            "count": acc["count"] + out["count"],
+            "saturated_tiles": acc["saturated_tiles"]
+            + (1 if out["sum"] >= sat else 0),
+        }
+
+    reducer = TiledReducer(cfg, program, run_tile, valid_col=1)
+    initial = {"max": 0, "min": (1 << cfg.word_width) - 1, "sum": 0,
+               "count": 0, "saturated_tiles": 0}
+    return reducer.run({0: np.asarray(values, dtype=np.int64)},
+                       combine, initial)

@@ -1,0 +1,114 @@
+"""Workload generators for the kernel library and benchmark suite.
+
+All generators are seeded (deterministic) and produce data sized to a
+machine configuration: one record per PE, word-width-bounded values.
+These stand in for the application data of the ASC literature the paper
+cites (databases, image processing, graph problems) — the paper itself
+defers software to future work (Section 9), so the workloads follow the
+canonical ASC application set of Potter et al. [4].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def rng(seed: int) -> np.random.Generator:
+    """Project-standard deterministic generator."""
+    return np.random.default_rng(seed)
+
+
+def random_field(num_pes: int, width: int, seed: int = 0,
+                 low: int = 0, high: int | None = None) -> np.ndarray:
+    """Uniform random unsigned field values, one per PE."""
+    if high is None:
+        high = min((1 << width) - 1, 1 << (width - 1))
+    return rng(seed).integers(low, high, size=num_pes, dtype=np.int64)
+
+
+@dataclass
+class EmployeeTable:
+    """A toy associative database: one record per PE."""
+
+    ids: np.ndarray
+    ages: np.ndarray
+    depts: np.ndarray
+    salaries: np.ndarray
+
+    @property
+    def num_records(self) -> int:
+        return len(self.ids)
+
+
+def employee_table(num_pes: int, num_depts: int = 4,
+                   seed: int = 7) -> EmployeeTable:
+    """Generate the database workload (E-table queries)."""
+    g = rng(seed)
+    return EmployeeTable(
+        ids=np.arange(num_pes, dtype=np.int64),
+        ages=g.integers(20, 65, size=num_pes, dtype=np.int64),
+        depts=g.integers(0, num_depts, size=num_pes, dtype=np.int64),
+        salaries=g.integers(100, 2000, size=num_pes, dtype=np.int64),
+    )
+
+
+def random_image(num_pes: int, rows: int, width: int,
+                 seed: int = 11) -> np.ndarray:
+    """Grayscale image, ``rows`` x ``num_pes`` (one column per PE)."""
+    high = min(255, (1 << (width - 1)) - 1)
+    return rng(seed).integers(0, high, size=(rows, num_pes), dtype=np.int64)
+
+
+def random_text(length: int, alphabet: int = 4, seed: int = 13) -> np.ndarray:
+    """Random text over a small alphabet (codes 1..alphabet)."""
+    return rng(seed).integers(1, alphabet + 1, size=length, dtype=np.int64)
+
+
+def planted_text(length: int, pattern: np.ndarray, occurrences: int,
+                 alphabet: int = 4, seed: int = 17) -> np.ndarray:
+    """Random text with ``occurrences`` copies of ``pattern`` planted at
+    disjoint positions (so the expected match count is known to be at
+    least ``occurrences``)."""
+    text = random_text(length, alphabet, seed)
+    m = len(pattern)
+    g = rng(seed + 1)
+    slots = length // m
+    if occurrences > slots:
+        raise ValueError("too many occurrences to plant disjointly")
+    starts = g.choice(slots, size=occurrences, replace=False) * m
+    for s in starts:
+        text[s:s + m] = pattern
+    return text
+
+
+def random_complete_graph(n: int, width: int, seed: int = 23) -> np.ndarray:
+    """Symmetric weight matrix of a complete graph (positive weights).
+
+    Weights stay well inside the unsigned range so MST arithmetic cannot
+    wrap at word width ``width``.
+    """
+    g = rng(seed)
+    high = max(3, min(200, (1 << (width - 1)) // max(n, 1)))
+    w = g.integers(1, high, size=(n, n), dtype=np.int64)
+    w = np.minimum(w, w.T)
+    np.fill_diagonal(w, 0)
+    return w
+
+
+def mst_weight_reference(weights: np.ndarray) -> int:
+    """Prim's algorithm on the weight matrix (the oracle for the MST
+    kernel; cross-checked against networkx in the tests)."""
+    n = weights.shape[0]
+    in_tree = np.zeros(n, dtype=bool)
+    dist = weights[:, 0].copy()
+    in_tree[0] = True
+    total = 0
+    for _ in range(n - 1):
+        candidates = np.flatnonzero(~in_tree)
+        u = candidates[np.argmin(dist[candidates])]
+        total += int(dist[u])
+        in_tree[u] = True
+        dist = np.where(~in_tree, np.minimum(dist, weights[:, u]), dist)
+    return total

@@ -1,0 +1,35 @@
+"""Low-level utilities shared across the simulator.
+
+Fixed-width two's-complement arithmetic helpers (:mod:`repro.util.bitops`)
+and plain-text table rendering for the benchmark harness
+(:mod:`repro.util.tables`).
+"""
+
+from repro.util.bitops import (
+    mask_for_width,
+    wrap_to_width,
+    sign_extend,
+    to_signed,
+    to_unsigned,
+    saturate_signed,
+    saturating_add_signed,
+    min_signed,
+    max_signed,
+    max_unsigned,
+)
+from repro.util.tables import Table, format_table
+
+__all__ = [
+    "mask_for_width",
+    "wrap_to_width",
+    "sign_extend",
+    "to_signed",
+    "to_unsigned",
+    "saturate_signed",
+    "saturating_add_signed",
+    "min_signed",
+    "max_signed",
+    "max_unsigned",
+    "Table",
+    "format_table",
+]

@@ -1,0 +1,117 @@
+"""Fixed-width two's-complement arithmetic.
+
+The simulated processor operates on ``W``-bit words (the 2007 prototype is
+8-bit; the simulator supports 8/16/32).  All architectural values are stored
+*unsigned* (in ``[0, 2**W)``); these helpers convert between the unsigned
+storage format and signed interpretation, wrap results of arithmetic back
+into range, and implement the saturating addition used by the sum-reduction
+unit (Section 6.4 of the paper).
+
+Scalar helpers accept plain Python ints; the vectorized variants accept
+NumPy arrays and are used on the PE-array hot path (structure-of-arrays,
+no per-PE Python loops — see DESIGN.md Section 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SUPPORTED_WIDTHS = (8, 16, 32)
+
+
+def mask_for_width(width: int) -> int:
+    """Return the all-ones mask for a ``width``-bit word (e.g. 0xFF for 8)."""
+    if width <= 0:
+        raise ValueError(f"word width must be positive, got {width}")
+    return (1 << width) - 1
+
+
+def wrap_to_width(value: int, width: int) -> int:
+    """Wrap an arbitrary integer into the unsigned range ``[0, 2**width)``."""
+    return value & mask_for_width(width)
+
+
+def sign_extend(value: int, from_bits: int, to_bits: int | None = None) -> int:
+    """Sign-extend ``value`` (an unsigned ``from_bits``-bit pattern).
+
+    Returns a Python int equal to the signed interpretation when
+    ``to_bits`` is None, otherwise the unsigned ``to_bits``-bit pattern of
+    the extended value.
+    """
+    value &= mask_for_width(from_bits)
+    sign_bit = 1 << (from_bits - 1)
+    signed = (value ^ sign_bit) - sign_bit
+    if to_bits is None:
+        return signed
+    return wrap_to_width(signed, to_bits)
+
+
+def to_signed(value: int, width: int) -> int:
+    """Interpret an unsigned ``width``-bit pattern as a signed integer."""
+    return sign_extend(value, width)
+
+
+def to_unsigned(value: int, width: int) -> int:
+    """Store a (possibly negative) integer as an unsigned ``width``-bit pattern."""
+    return wrap_to_width(value, width)
+
+
+def min_signed(width: int) -> int:
+    """Most negative signed value representable in ``width`` bits."""
+    return -(1 << (width - 1))
+
+
+def max_signed(width: int) -> int:
+    """Most positive signed value representable in ``width`` bits."""
+    return (1 << (width - 1)) - 1
+
+
+def max_unsigned(width: int) -> int:
+    """Largest unsigned value representable in ``width`` bits."""
+    return mask_for_width(width)
+
+
+def saturate_signed(value: int, width: int) -> int:
+    """Clamp a signed integer to the representable signed range.
+
+    Returns the *unsigned* storage pattern of the clamped value, matching
+    the sum unit's behaviour: "If overflow occurs while computing the sum,
+    the result is saturated to the largest or smallest representable
+    value" (Section 6.4).
+    """
+    lo, hi = min_signed(width), max_signed(width)
+    clamped = min(max(value, lo), hi)
+    return to_unsigned(clamped, width)
+
+
+def saturating_add_signed(a: int, b: int, width: int) -> int:
+    """Saturating signed add of two unsigned ``width``-bit patterns."""
+    total = to_signed(a, width) + to_signed(b, width)
+    return saturate_signed(total, width)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized (NumPy) variants, used by the PE array and reduction units.
+# ---------------------------------------------------------------------------
+
+def np_wrap(values: np.ndarray, width: int) -> np.ndarray:
+    """Vectorized :func:`wrap_to_width`; result dtype is int64."""
+    return np.bitwise_and(values.astype(np.int64), mask_for_width(width))
+
+
+def np_to_signed(values: np.ndarray, width: int) -> np.ndarray:
+    """Vectorized :func:`to_signed` (int64 output)."""
+    vals = np_wrap(values, width)
+    sign_bit = 1 << (width - 1)
+    return (vals ^ sign_bit) - sign_bit
+
+
+def np_to_unsigned(values: np.ndarray, width: int) -> np.ndarray:
+    """Vectorized :func:`to_unsigned` (int64 output)."""
+    return np_wrap(values, width)
+
+
+def np_saturate_signed(values: np.ndarray, width: int) -> np.ndarray:
+    """Vectorized clamp of signed int64 values, returned as unsigned patterns."""
+    clamped = np.clip(values, min_signed(width), max_signed(width))
+    return np_to_unsigned(clamped, width)

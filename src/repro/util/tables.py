@@ -1,0 +1,85 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benchmark suite regenerates each of the paper's tables and figures as
+aligned ASCII tables (so `pytest benchmarks/ -s` output reads like the
+paper's evaluation section).  Only stdlib + str formatting; no third-party
+table dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+
+def _fmt_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3g}" if abs(value) < 10 else f"{value:.1f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str | None = None,
+    align_right_from: int = 1,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Columns from index ``align_right_from`` onward are right-aligned
+    (numeric columns); earlier columns are left-aligned (labels).
+    """
+    str_rows = [[_fmt_cell(c) for c in row] for row in rows]
+    ncols = len(headers)
+    for row in str_rows:
+        if len(row) != ncols:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {ncols}: {row!r}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if i >= align_right_from:
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    sep = "  ".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), len(sep)))
+    lines.append(fmt_row(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+@dataclass
+class Table:
+    """Accumulator for building a table row by row, then rendering it."""
+
+    headers: Sequence[str]
+    title: str | None = None
+    rows: list[list[Any]] = field(default_factory=list)
+
+    def add_row(self, *cells: Any) -> None:
+        self.rows.append(list(cells))
+
+    def render(self) -> str:
+        return format_table(self.headers, self.rows, title=self.title)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

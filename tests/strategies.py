@@ -1,0 +1,54 @@
+"""Shared hypothesis strategies for the test suite."""
+
+from hypothesis import strategies as st
+
+from repro.isa import registers as regs
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import ALL_MNEMONICS, Format, ImmKind, OPCODES
+
+
+def imm_strategy(spec):
+    """Strategy producing a valid immediate for an opcode spec."""
+    bits = 13 if spec.fmt is Format.IP else 16
+    kind = spec.imm_kind
+    if kind in (ImmKind.SIGNED, ImmKind.OFFSET):
+        return st.integers(-(1 << (bits - 1)), (1 << (bits - 1)) - 1)
+    if kind is ImmKind.UNSIGNED:
+        return st.integers(0, (1 << bits) - 1)
+    if kind is ImmKind.SHAMT:
+        return st.integers(0, 31)
+    if kind is ImmKind.REGIDX:
+        return st.integers(0, regs.NUM_SCALAR_REGS - 1)
+    if kind is ImmKind.TARGET:
+        return st.integers(0, (1 << bits) - 1)
+    return st.just(0)
+
+
+@st.composite
+def instructions(draw):
+    """Random valid instruction of any opcode."""
+    mnemonic = draw(st.sampled_from(ALL_MNEMONICS))
+    spec = OPCODES[mnemonic]
+    fields = {}
+    roles = list(spec.srcs)
+    if spec.dest is not None:
+        roles.append(spec.dest)
+    for regfile, fname in roles:
+        if fname == "link":
+            continue
+        size = regs.REGFILE_SIZES[regfile]
+        fields[fname] = draw(st.integers(0, size - 1))
+    if spec.masked:
+        fields["mf"] = draw(st.integers(0, regs.NUM_FLAG_REGS - 1))
+    if spec.fmt is Format.J:
+        # J-format carries its target in the 26-bit target field; imm is
+        # unused even though imm_kind is TARGET.
+        fields["target"] = draw(st.integers(0, (1 << 26) - 1))
+    elif spec.imm_kind is not None:
+        fields["imm"] = draw(imm_strategy(spec))
+    return Instruction(mnemonic, **fields)
+
+
+# Strategies for PE-vector data.
+pe_values = st.lists(st.integers(0, (1 << 16) - 1), min_size=1, max_size=64)
+widths = st.sampled_from([8, 16, 32])

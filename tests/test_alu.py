@@ -1,0 +1,167 @@
+"""PE ALU semantics: vectorized ops vs. scalar reference (property-based)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pe import alu
+from repro.util.bitops import mask_for_width, to_signed, to_unsigned
+
+WIDTHS = st.sampled_from([8, 16, 32])
+vals8 = st.integers(0, 255)
+
+
+def ref_shift_amount(b: int, width: int) -> int:
+    return min(b & 0x3F, 31)
+
+
+def arrays(draw, width, n=8):
+    mask = mask_for_width(width)
+    a = draw(st.lists(st.integers(0, mask), min_size=n, max_size=n))
+    b = draw(st.lists(st.integers(0, mask), min_size=n, max_size=n))
+    return (np.array(a, dtype=np.int64), np.array(b, dtype=np.int64))
+
+
+@st.composite
+def op_inputs(draw):
+    width = draw(WIDTHS)
+    return width, *arrays(draw, width)
+
+
+class TestArithmetic:
+    @given(op_inputs())
+    def test_add_wraps(self, inputs):
+        width, a, b = inputs
+        out = alu.alu_add(a, b, width)
+        for x, y, z in zip(a, b, out):
+            assert z == to_unsigned(int(x) + int(y), width)
+
+    @given(op_inputs())
+    def test_sub_wraps(self, inputs):
+        width, a, b = inputs
+        out = alu.alu_sub(a, b, width)
+        for x, y, z in zip(a, b, out):
+            assert z == to_unsigned(int(x) - int(y), width)
+
+    @given(op_inputs())
+    def test_mul_low_bits(self, inputs):
+        width, a, b = inputs
+        out = alu.alu_mul(a, b, width)
+        for x, y, z in zip(a, b, out):
+            assert z == to_unsigned(int(x) * int(y), width)
+
+    @given(op_inputs())
+    def test_bitwise_ops(self, inputs):
+        width, a, b = inputs
+        mask = mask_for_width(width)
+        assert (alu.alu_and(a, b, width) == (a & b) & mask).all()
+        assert (alu.alu_or(a, b, width) == (a | b) & mask).all()
+        assert (alu.alu_xor(a, b, width) == (a ^ b) & mask).all()
+        assert (alu.alu_nor(a, b, width) == (~(a | b)) & mask).all()
+
+    @given(op_inputs())
+    def test_results_in_range(self, inputs):
+        width, a, b = inputs
+        mask = mask_for_width(width)
+        for name, fn in alu.INT_OPS.items():
+            out = fn(a, b, width)
+            assert ((out >= 0) & (out <= mask)).all(), name
+
+
+class TestShifts:
+    def test_sll_basic(self):
+        a = np.array([1, 2, 3], dtype=np.int64)
+        b = np.array([1, 2, 3], dtype=np.int64)
+        assert alu.alu_sll(a, b, 8).tolist() == [2, 8, 24]
+
+    def test_sll_overshift_is_zero(self):
+        a = np.array([0xFF], dtype=np.int64)
+        assert alu.alu_sll(a, np.array([8]), 8).tolist() == [0]
+        assert alu.alu_sll(a, np.array([31]), 8).tolist() == [0]
+
+    def test_srl_unsigned_fill(self):
+        a = np.array([0x80], dtype=np.int64)
+        assert alu.alu_srl(a, np.array([7]), 8).tolist() == [1]
+        assert alu.alu_srl(a, np.array([8]), 8).tolist() == [0]
+
+    def test_sra_sign_fill(self):
+        a = np.array([0x80], dtype=np.int64)   # -128
+        assert alu.alu_sra(a, np.array([7]), 8).tolist() == [0xFF]
+        # overshift keeps the sign fill
+        assert alu.alu_sra(a, np.array([20]), 8).tolist() == [0xFF]
+        pos = np.array([0x40], dtype=np.int64)
+        assert alu.alu_sra(pos, np.array([20]), 8).tolist() == [0]
+
+    @given(vals8, st.integers(0, 63))
+    def test_srl_matches_python(self, a, sh):
+        out = alu.alu_srl(np.array([a], np.int64), np.array([sh], np.int64), 8)
+        assert out[0] == (a >> ref_shift_amount(sh, 8)) if sh < 8 else out[0] == 0
+
+
+class TestDivision:
+    def test_truncates_toward_zero(self):
+        a = np.array([to_unsigned(-7, 8)], np.int64)
+        b = np.array([2], np.int64)
+        out = alu.alu_div(a, b, 8)
+        assert to_signed(int(out[0]), 8) == -3   # C semantics, not floor
+
+    def test_div_by_zero_all_ones(self):
+        a = np.array([5], np.int64)
+        b = np.array([0], np.int64)
+        assert alu.alu_div(a, b, 8)[0] == 0xFF
+
+    def test_mixed_vector(self):
+        a = np.array([10, to_unsigned(-10, 8), 7], np.int64)
+        b = np.array([3, 3, 0], np.int64)
+        out = alu.alu_div(a, b, 8)
+        assert to_signed(int(out[0]), 8) == 3
+        assert to_signed(int(out[1]), 8) == -3
+        assert out[2] == 0xFF
+
+    @given(st.integers(0, 255), st.integers(1, 255))
+    def test_div_matches_int_truncation(self, a, b):
+        sa, sb = to_signed(a, 8), to_signed(b, 8)
+        out = alu.alu_div(np.array([a], np.int64), np.array([b], np.int64), 8)
+        expected = int(sa / sb) if sb != 0 else None
+        assert to_signed(int(out[0]), 8) == to_signed(
+            to_unsigned(expected, 8), 8)
+
+
+class TestComparisons:
+    @given(op_inputs())
+    def test_signed_comparisons(self, inputs):
+        width, a, b = inputs
+        sa = np.array([to_signed(int(x), width) for x in a])
+        sb = np.array([to_signed(int(x), width) for x in b])
+        assert (alu.cmp_lt(a, b, width) == (sa < sb)).all()
+        assert (alu.cmp_le(a, b, width) == (sa <= sb)).all()
+
+    @given(op_inputs())
+    def test_unsigned_comparisons(self, inputs):
+        width, a, b = inputs
+        assert (alu.cmp_ltu(a, b, width) == (a < b)).all()
+        assert (alu.cmp_leu(a, b, width) == (a <= b)).all()
+
+    @given(op_inputs())
+    def test_eq_ne_complementary(self, inputs):
+        width, a, b = inputs
+        eq = alu.cmp_eq(a, b, width)
+        ne = alu.cmp_ne(a, b, width)
+        assert (eq ^ ne).all()
+
+    def test_slt_produces_int(self):
+        a = np.array([to_unsigned(-1, 8)], np.int64)
+        b = np.array([1], np.int64)
+        assert alu.alu_slt(a, b, 8).tolist() == [1]
+        assert alu.alu_sltu(a, b, 8).tolist() == [0]   # 0xFF > 1 unsigned
+
+
+class TestFlagOps:
+    @given(st.lists(st.booleans(), min_size=4, max_size=4),
+           st.lists(st.booleans(), min_size=4, max_size=4))
+    def test_flag_logic_matches_python(self, xs, ys):
+        a, b = np.array(xs), np.array(ys)
+        assert (alu.FLAG_OPS["fand"](a, b) == (a & b)).all()
+        assert (alu.FLAG_OPS["for"](a, b) == (a | b)).all()
+        assert (alu.FLAG_OPS["fxor"](a, b) == (a ^ b)).all()
+        assert (alu.FLAG_OPS["fandn"](a, b) == (a & ~b)).all()

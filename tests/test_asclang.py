@@ -1,0 +1,428 @@
+"""ASC query compiler tests: codegen, regalloc, semantics vs AscContext."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asclang import AscLangError, AscProgram
+from repro.assoc import AscContext
+from repro.core import MTMode, ProcessorConfig
+from repro.programs.workloads import employee_table, random_field
+
+
+def compile_and_run(build, num_pes=32, width=16, lmem=None, optimize=False):
+    prog = AscProgram(width=width)
+    build(prog)
+    query = prog.compile(optimize=optimize)
+    return query.run(num_pes, lmem=lmem or {})
+
+
+class TestBasicQueries:
+    def test_count_matches(self):
+        values = np.array([5, 7, 5, 9] * 8)
+
+        def build(prog):
+            v = prog.load_field(0)
+            prog.output(prog.count(v == 5), "hits")
+
+        out = compile_and_run(build, lmem={0: values})
+        assert out == {"hits": 16}
+
+    def test_max_min_sum(self):
+        values = np.arange(32)
+
+        def build(prog):
+            v = prog.load_field(0)
+            prog.output(prog.max(v), "max")
+            prog.output(prog.min(v), "min")
+            prog.output(prog.sum(v), "sum")
+
+        out = compile_and_run(build, lmem={0: values})
+        assert out == {"max": 31, "min": 0, "sum": int(values.sum())}
+
+    def test_masked_reduction(self):
+        values = np.arange(32)
+
+        def build(prog):
+            v = prog.load_field(0)
+            prog.output(prog.sum(v, where=v >= 30), "tail")
+
+        out = compile_and_run(build, lmem={0: values})
+        assert out == {"tail": 30 + 31}
+
+    def test_arithmetic_expressions(self):
+        values = np.arange(32)
+
+        def build(prog):
+            v = prog.load_field(0)
+            w = (v + 100) - 50
+            prog.output(prog.max(w), "max")
+            prog.output(prog.max((v << 1) | 1), "odd")
+
+        out = compile_and_run(build, lmem={0: values})
+        assert out == {"max": 31 + 50, "odd": 63}
+
+    def test_scalar_combination(self):
+        values = np.arange(32)
+
+        def build(prog):
+            v = prog.load_field(0)
+            span = prog.max(v) - prog.min(v)
+            prog.output(span + 1, "span1")
+
+        out = compile_and_run(build, lmem={0: values})
+        assert out == {"span1": 32}
+
+    def test_parallel_constant(self):
+        def build(prog):
+            c = prog.constant(7)
+            prog.output(prog.sum(c), "sum")
+
+        assert compile_and_run(build, num_pes=8)["sum"] == 56
+
+    def test_large_constant_broadcast(self):
+        def build(prog):
+            c = prog.constant(30000)     # exceeds 13-bit immediate
+            prog.output(prog.max(c, signed=False), "c")
+
+        assert compile_and_run(build)["c"] == 30000
+
+    def test_pick_one_and_get(self):
+        values = np.array([3, 9, 9, 1] * 8)
+        index = np.arange(32)
+
+        def build(prog):
+            v = prog.load_field(0)
+            idx = prog.load_field(1)
+            one = prog.pick_one(v == 9)
+            prog.output(prog.get(idx, one), "first")
+
+        out = compile_and_run(build, lmem={0: values, 1: index})
+        assert out == {"first": 1}
+
+    def test_select(self):
+        values = np.arange(32)
+
+        def build(prog):
+            v = prog.load_field(0)
+            clipped = prog.select(v > 15, prog.constant(15), v)
+            prog.output(prog.max(clipped), "clip")
+            prog.output(prog.sum(clipped), "sum")
+
+        out = compile_and_run(build, lmem={0: np.arange(32)})
+        expected = np.minimum(np.arange(32), 15)
+        assert out == {"clip": 15, "sum": int(expected.sum())}
+
+    def test_any_and_flag_logic(self):
+        values = np.arange(32)
+
+        def build(prog):
+            v = prog.load_field(0)
+            none = prog.any((v > 100) & (v < 3))
+            some = prog.any((v > 5) | (v == 0))
+            neither = prog.any(~(v >= 0))
+            prog.output(none, "none")
+            prog.output(some, "some")
+            prog.output(neither, "neither")
+
+        out = compile_and_run(build, lmem={0: values})
+        assert out == {"none": 0, "some": 1, "neither": 0}
+
+    def test_gt_ge_against_scalar_value(self):
+        values = np.arange(32)
+
+        def build(prog):
+            v = prog.load_field(0)
+            pivot = prog.max(v) - 5       # 26
+            prog.output(prog.count(v > pivot), "gt")
+            prog.output(prog.count(v >= pivot), "ge")
+
+        out = compile_and_run(build, lmem={0: values})
+        assert out == {"gt": 5, "ge": 6}
+
+
+class TestMoreOperators:
+    def test_multiply(self):
+        values = np.arange(8)
+
+        def build(prog):
+            v = prog.load_field(0)
+            prog.output(prog.max(v * 3, signed=False), "m")
+            prog.output(prog.max(v * v, signed=False), "sq")
+
+        out = compile_and_run(build, num_pes=8, lmem={0: values})
+        assert out == {"m": 21, "sq": 49}
+
+    def test_right_shift_and_bitops(self):
+        values = np.array([0b1100, 0b1010, 0b0110, 0b0001])
+
+        def build(prog):
+            v = prog.load_field(0)
+            prog.output(prog.bit_or(v >> 1), "or1")
+            prog.output(prog.bit_and(v | 0b1000), "and")
+            prog.output(prog.max(v ^ 0b1111, signed=False), "xm")
+
+        out = compile_and_run(build, num_pes=4, lmem={0: values})
+        assert out == {"or1": (0b110 | 0b101 | 0b011 | 0b000),
+                       "and": 0b1000,
+                       "xm": 0b1110}
+
+    def test_scalar_bitwise_combinations(self):
+        values = np.array([3, 12, 5, 10])
+
+        def build(prog):
+            v = prog.load_field(0)
+            hi = prog.max(v)            # 12
+            lo = prog.min(v)            # 3
+            prog.output(hi & lo, "and")
+            prog.output(hi | lo, "or")
+            prog.output(hi ^ lo, "xor")
+
+        out = compile_and_run(build, num_pes=4, lmem={0: values})
+        assert out == {"and": 12 & 3, "or": 12 | 3, "xor": 12 ^ 3}
+
+    def test_parallel_minus_scalar_value(self):
+        values = np.arange(8) + 10
+
+        def build(prog):
+            v = prog.load_field(0)
+            base = prog.min(v)          # 10
+            prog.output(prog.max(v - base), "span")
+
+        out = compile_and_run(build, num_pes=8, lmem={0: values})
+        assert out == {"span": 7}
+
+
+class TestErrors:
+    def test_no_outputs(self):
+        prog = AscProgram()
+        prog.load_field(0)
+        with pytest.raises(AscLangError):
+            prog.compile()
+
+    def test_cross_program_values(self):
+        a, b = AscProgram(), AscProgram()
+        va, vb = a.load_field(0), b.load_field(0)
+        with pytest.raises(AscLangError):
+            _ = va + vb
+
+    def test_flag_logic_type_error(self):
+        prog = AscProgram()
+        v = prog.load_field(0)
+        sel = v == 1
+        with pytest.raises(AscLangError):
+            _ = sel & v          # flag & parallel
+
+    def test_output_requires_scalar(self):
+        prog = AscProgram()
+        v = prog.load_field(0)
+        with pytest.raises(AscLangError):
+            prog.output(v)
+
+    def test_bad_shift_amount(self):
+        prog = AscProgram()
+        v = prog.load_field(0)
+        with pytest.raises(AscLangError):
+            _ = v << 99
+
+    def test_register_exhaustion_reported(self):
+        prog = AscProgram()
+        fields = [prog.load_field(i) for i in range(16)]
+        with pytest.raises(AscLangError) as e:
+            total = fields[0]
+            for f in fields[1:]:
+                total = total + f
+            # keep everything live via outputs
+            for f in fields:
+                prog.output(prog.max(f))
+            prog.output(prog.max(total))
+            prog.compile()
+        assert "register" in str(e.value)
+
+    def test_width_mismatch_at_run(self):
+        prog = AscProgram(width=16)
+        prog.output(prog.count(prog.load_field(0) == 1))
+        query = prog.compile()
+        with pytest.raises(AscLangError):
+            query.run(16, config=ProcessorConfig(num_pes=16, word_width=8))
+
+
+class TestRegisterRecycling:
+    def test_long_chain_fits_in_registers(self):
+        # 40 chained operations but only ~2 live values at a time.
+        prog = AscProgram()
+        v = prog.load_field(0)
+        for i in range(40):
+            v = v + 1
+        prog.output(prog.max(v, signed=False), "m")
+        out = prog.compile().run(8, lmem={0: np.arange(8)})
+        assert out == {"m": 7 + 40}
+
+    def test_many_independent_reductions(self):
+        prog = AscProgram()
+        v = prog.load_field(0)
+        for i in range(10):
+            prog.output(prog.sum(v + i), f"s{i}")
+        out = prog.compile().run(4, lmem={0: np.arange(4)})
+        base = sum(range(4))
+        assert out == {f"s{i}": base + 4 * i for i in range(10)}
+
+
+class TestAgainstAscContext:
+    """Differential: compiled queries vs the high-level reference."""
+
+    def test_database_query(self):
+        table = employee_table(64)
+        prog = AscProgram(width=16)
+        age, dept, salary, ids = (prog.load_field(1), prog.load_field(2),
+                                  prog.load_field(3), prog.load_field(0))
+        sel = (age >= 30) & (dept == 2)
+        prog.output(prog.count(sel), "count")
+        msal = prog.min(salary, where=sel, signed=False)
+        prog.output(msal, "min_salary")
+        prog.output(prog.get(ids, prog.pick_one(sel & (salary == msal))),
+                    "who")
+        out = prog.compile().run(64, lmem={0: table.ids, 1: table.ages,
+                                           2: table.depts,
+                                           3: table.salaries})
+
+        ctx = AscContext(64, 16)
+        for name, col in (("id", table.ids), ("age", table.ages),
+                          ("dept", table.depts), ("salary", table.salaries)):
+            ctx.add_field(name, col)
+        sel2 = (ctx["age"] >= 30) & (ctx["dept"] == 2)
+        ms = ctx.min("salary", where=sel2, signed=False)
+        assert out == {
+            "count": ctx.count(sel2),
+            "min_salary": ms,
+            "who": ctx.get("id", ctx.pick_one(
+                sel2 & (ctx["salary"] == ms))),
+        }
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 1000), st.integers(0, 100), st.integers(0, 30))
+    def test_random_threshold_queries(self, seed, lo, delta):
+        values = random_field(32, 16, seed=seed, high=200)
+        hi = lo + delta
+        prog = AscProgram(width=16)
+        v = prog.load_field(0)
+        sel = (v >= lo) & (v < hi)
+        prog.output(prog.count(sel), "count")
+        prog.output(prog.sum(v, where=sel), "sum")
+        prog.output(prog.max(v, where=sel, signed=False), "max")
+        out = prog.compile().run(32, lmem={0: values})
+
+        ctx = AscContext(32, 16)
+        ctx.add_field("v", values)
+        sel2 = (ctx["v"] >= lo) & (ctx["v"] < hi)
+        assert out["count"] == ctx.count(sel2)
+        assert out["sum"] == ctx.sum("v", where=sel2)
+        assert out["max"] == ctx.max("v", where=sel2, signed=False)
+
+
+class TestTopKHelper:
+    def test_top_k_method(self):
+        import numpy as np
+        from repro.programs.workloads import random_field
+
+        values = random_field(32, 16, seed=3, high=300)
+        prog = AscProgram(width=16)
+        v = prog.load_field(0)
+        prog.top_k(v, 4)
+        out = prog.compile().run(32, lmem={0: values})
+        expected = sorted(values.tolist(), reverse=True)[:4]
+        assert [out[f"top{i}"] for i in range(4)] == expected
+
+    def test_top_k_with_where(self):
+        import numpy as np
+
+        values = np.array([10, 200, 30, 200, 50, 60, 70, 80])
+        prog = AscProgram(width=16)
+        v = prog.load_field(0)
+        prog.top_k(v, 2, where=v < 100, prefix="small")
+        out = prog.compile().run(8, lmem={0: values})
+        assert out == {"small0": 80, "small1": 70}
+
+    def test_top_k_validation(self):
+        prog = AscProgram()
+        v = prog.load_field(0)
+        with pytest.raises(AscLangError):
+            prog.top_k(v, 0)
+
+
+class TestConvenienceHelpers:
+    def test_between(self):
+        values = np.arange(32)
+
+        def build(prog):
+            v = prog.load_field(0)
+            prog.output(prog.count(prog.between(v, 10, 20)), "n")
+
+        assert compile_and_run(build, lmem={0: values}) == {"n": 10}
+
+    def test_abs_diff_against_constant(self):
+        values = np.array([3, 10, 7, 25], dtype=np.int64)
+
+        def build(prog):
+            v = prog.load_field(0)
+            d = prog.abs_diff(v, 10)
+            prog.output(prog.max(d, signed=False), "far")
+            prog.output(prog.min(d, signed=False), "near")
+
+        out = compile_and_run(build, num_pes=4, lmem={0: values})
+        assert out == {"far": 15, "near": 0}
+
+    def test_abs_diff_between_fields(self):
+        a = np.array([5, 1, 9, 9])
+        b = np.array([2, 8, 9, 0])
+
+        def build(prog):
+            x, y = prog.load_field(0), prog.load_field(1)
+            prog.output(prog.sum(prog.abs_diff(x, y)), "l1")
+
+        out = compile_and_run(build, num_pes=4, lmem={0: a, 1: b})
+        assert out == {"l1": 3 + 7 + 0 + 9}
+
+    def test_abs_diff_type_error(self):
+        prog = AscProgram()
+        v = prog.load_field(0)
+        with pytest.raises(AscLangError):
+            prog.abs_diff(v, prog.max(v))
+
+
+class TestOptimizedCompilation:
+    def test_optimize_preserves_results(self):
+        values = random_field(32, 16, seed=4, high=100)
+
+        def build(prog):
+            v = prog.load_field(0)
+            prog.output(prog.max(v, signed=False), "a")
+            prog.output(prog.min(v, signed=False), "b")
+            prog.output(prog.sum(v), "c")
+            prog.output(prog.count(v > 50), "d")
+
+        plain = compile_and_run(build, lmem={0: values})
+        opt = compile_and_run(build, lmem={0: values}, optimize=True)
+        assert plain == opt
+
+    def test_optimize_reduces_cycles_on_independent_reductions(self):
+        values = random_field(64, 16, seed=5, high=100)
+
+        def cycles(optimize):
+            prog = AscProgram(width=16)
+            v = prog.load_field(0)
+            s = prog.max(v) + prog.min(v)      # dependent consumers
+            t = prog.sum(v) + prog.bit_or(v)
+            prog.output(s, "s")
+            prog.output(t, "t")
+            query = prog.compile(optimize=optimize)
+            cfg = ProcessorConfig(num_pes=64, num_threads=1, word_width=16,
+                                  mt_mode=MTMode.SINGLE)
+            from repro.asm import assemble
+            from repro.core import Processor
+            proc = Processor(cfg)
+            proc.load(assemble(query.source, 16))
+            proc.pe.set_lmem_column(0, values)
+            return proc.run().stats.cycles
+
+        assert cycles(True) <= cycles(False)

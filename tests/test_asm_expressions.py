@@ -1,0 +1,62 @@
+"""Property tests for the assembler's expression evaluator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.asm import AsmError, Assembler
+
+ASM = Assembler(word_width=16)
+
+
+def evaluate(text, symbols=None):
+    return ASM._eval(text, symbols or {}, lineno=1, raw=text)
+
+
+@st.composite
+def expressions(draw, depth=0):
+    """Random +/- expressions with parentheses; returns (text, value)."""
+    if depth >= 3 or draw(st.booleans()):
+        value = draw(st.integers(-500, 500))
+        if value < 0:
+            return f"({value})", value
+        return str(value), value
+    left_text, left = draw(expressions(depth=depth + 1))
+    right_text, right = draw(expressions(depth=depth + 1))
+    op = draw(st.sampled_from(["+", "-"]))
+    text = f"({left_text} {op} {right_text})"
+    return text, left + right if op == "+" else left - right
+
+
+class TestExpressionEvaluator:
+    @given(expressions())
+    def test_matches_python_arithmetic(self, expr):
+        text, expected = expr
+        assert evaluate(text) == expected
+
+    def test_hex_binary_char(self):
+        assert evaluate("0x10 + 0b11") == 19
+        assert evaluate("'A' - 1") == 64
+
+    def test_escaped_char(self):
+        assert evaluate(r"'\n'") == 10
+
+    def test_symbols(self):
+        assert evaluate("A + B - 1", {"A": 10, "B": 5}) == 14
+
+    def test_unary_chain(self):
+        assert evaluate("--5") == 5
+        assert evaluate("-+5") == -5
+
+    def test_nested_parentheses(self):
+        assert evaluate("((2 + 3) - (1 + 1))") == 3
+
+    @pytest.mark.parametrize("bad", [
+        "", "(", "1 +", "+ + ", "1 2", "(1", "1)", "&", "'ab'"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(AsmError):
+            evaluate(bad)
+
+    def test_undefined_symbol_message(self):
+        with pytest.raises(AsmError) as e:
+            evaluate("MISSING + 1")
+        assert "MISSING" in str(e.value)

@@ -1,0 +1,133 @@
+"""Unit and property tests for fixed-width arithmetic helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import bitops as b
+
+WIDTHS = st.sampled_from([8, 16, 32])
+
+
+class TestMaskForWidth:
+    def test_known_masks(self):
+        assert b.mask_for_width(8) == 0xFF
+        assert b.mask_for_width(16) == 0xFFFF
+        assert b.mask_for_width(32) == 0xFFFFFFFF
+
+    def test_one_bit(self):
+        assert b.mask_for_width(1) == 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            b.mask_for_width(0)
+        with pytest.raises(ValueError):
+            b.mask_for_width(-3)
+
+
+class TestWrap:
+    def test_in_range_unchanged(self):
+        assert b.wrap_to_width(200, 8) == 200
+
+    def test_overflow_wraps(self):
+        assert b.wrap_to_width(256, 8) == 0
+        assert b.wrap_to_width(257, 8) == 1
+
+    def test_negative_wraps_twos_complement(self):
+        assert b.wrap_to_width(-1, 8) == 0xFF
+        assert b.wrap_to_width(-128, 8) == 0x80
+
+    @given(st.integers(-10**9, 10**9), WIDTHS)
+    def test_always_in_range(self, value, width):
+        wrapped = b.wrap_to_width(value, width)
+        assert 0 <= wrapped <= b.mask_for_width(width)
+
+    @given(st.integers(-10**9, 10**9), WIDTHS)
+    def test_idempotent(self, value, width):
+        once = b.wrap_to_width(value, width)
+        assert b.wrap_to_width(once, width) == once
+
+
+class TestSignConversion:
+    def test_to_signed_positive(self):
+        assert b.to_signed(5, 8) == 5
+
+    def test_to_signed_negative(self):
+        assert b.to_signed(0xFF, 8) == -1
+        assert b.to_signed(0x80, 8) == -128
+
+    def test_boundaries(self):
+        assert b.to_signed(0x7F, 8) == 127
+        assert b.min_signed(8) == -128
+        assert b.max_signed(8) == 127
+        assert b.max_unsigned(8) == 255
+
+    @given(st.integers(0, 2**32 - 1), WIDTHS)
+    def test_roundtrip(self, pattern, width):
+        pattern &= b.mask_for_width(width)
+        assert b.to_unsigned(b.to_signed(pattern, width), width) == pattern
+
+    @given(st.integers(-(2**31), 2**31 - 1), WIDTHS)
+    def test_signed_range(self, value, width):
+        signed = b.to_signed(b.to_unsigned(value, width), width)
+        assert b.min_signed(width) <= signed <= b.max_signed(width)
+
+    def test_sign_extend_to_bits(self):
+        assert b.sign_extend(0xFF, 8, 16) == 0xFFFF
+        assert b.sign_extend(0x7F, 8, 16) == 0x7F
+
+
+class TestSaturation:
+    def test_saturate_high(self):
+        assert b.to_signed(b.saturate_signed(1000, 8), 8) == 127
+
+    def test_saturate_low(self):
+        assert b.to_signed(b.saturate_signed(-1000, 8), 8) == -128
+
+    def test_in_range_passthrough(self):
+        assert b.to_signed(b.saturate_signed(-5, 8), 8) == -5
+
+    def test_saturating_add(self):
+        a = b.to_unsigned(100, 8)
+        c = b.to_unsigned(100, 8)
+        assert b.to_signed(b.saturating_add_signed(a, c, 8), 8) == 127
+
+    def test_saturating_add_negative(self):
+        a = b.to_unsigned(-100, 8)
+        c = b.to_unsigned(-100, 8)
+        assert b.to_signed(b.saturating_add_signed(a, c, 8), 8) == -128
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_saturating_add_bounds(self, x, y):
+        result = b.to_signed(b.saturating_add_signed(x, y, 8), 8)
+        assert -128 <= result <= 127
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_saturating_add_exact_when_no_overflow(self, x, y):
+        exact = b.to_signed(x, 8) + b.to_signed(y, 8)
+        if -128 <= exact <= 127:
+            assert b.to_signed(b.saturating_add_signed(x, y, 8), 8) == exact
+
+
+class TestVectorized:
+    @given(st.lists(st.integers(-10**6, 10**6), min_size=1, max_size=64),
+           WIDTHS)
+    def test_np_wrap_matches_scalar(self, values, width):
+        arr = np.array(values, dtype=np.int64)
+        expected = [b.wrap_to_width(v, width) for v in values]
+        assert b.np_wrap(arr, width).tolist() == expected
+
+    @given(st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=64),
+           WIDTHS)
+    def test_np_to_signed_matches_scalar(self, values, width):
+        arr = np.array(values, dtype=np.int64)
+        expected = [b.to_signed(v & b.mask_for_width(width), width)
+                    for v in values]
+        assert b.np_to_signed(arr, width).tolist() == expected
+
+    @given(st.lists(st.integers(-10**6, 10**6), min_size=1, max_size=64),
+           WIDTHS)
+    def test_np_saturate_matches_scalar(self, values, width):
+        arr = np.array(values, dtype=np.int64)
+        expected = [b.saturate_signed(v, width) for v in values]
+        assert b.np_saturate_signed(arr, width).tolist() == expected

@@ -1,0 +1,83 @@
+"""Binary encode/decode round-trip tests (unit + property-based)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import registers as regs
+from repro.isa.encoding import DecodeError, decode, decode_program, encode, encode_program
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Format, OPCODES
+from tests.strategies import instructions
+
+
+class TestRoundTrip:
+    @given(instructions())
+    def test_encode_decode_identity(self, instr):
+        word = encode(instr)
+        assert 0 <= word < (1 << 32)
+        back = decode(word)
+        assert back.mnemonic == instr.mnemonic
+        assert back.rd == instr.rd
+        assert back.rs == instr.rs
+        assert back.rt == instr.rt or instr.spec.fmt is not Format.R
+        assert back.mf == instr.mf or not instr.spec.masked
+        assert back.imm == instr.imm or instr.spec.imm_kind is None
+        assert back.target == instr.target
+
+    @given(st.lists(instructions(), max_size=20))
+    def test_program_roundtrip(self, instrs):
+        words = encode_program(instrs)
+        back = decode_program(words)
+        assert [i.mnemonic for i in back] == [i.mnemonic for i in instrs]
+
+    def test_word_zero_is_architectural_nop(self):
+        instr = decode(0)
+        assert instr.mnemonic == "add"
+        assert instr.rd == instr.rs == instr.rt == 0
+
+
+class TestSpecificEncodings:
+    def test_negative_imm_two_complement(self):
+        word = encode(Instruction("addi", rd=1, rs=1, imm=-1))
+        assert word & 0xFFFF == 0xFFFF
+        assert decode(word).imm == -1
+
+    def test_parallel_imm_13_bits(self):
+        word = encode(Instruction("paddi", rd=1, rs=1, imm=-1))
+        assert word & 0x1FFF == 0x1FFF
+        assert decode(word).imm == -1
+
+    def test_mask_field_position_r_format(self):
+        word = encode(Instruction("padd", rd=1, rs=2, rt=3, mf=5))
+        assert (word >> 8) & 0x7 == 5
+
+    def test_mask_field_position_ip_format(self):
+        word = encode(Instruction("paddi", rd=1, rs=2, imm=0, mf=5))
+        assert (word >> 13) & 0x7 == 5
+
+    def test_opcode_field(self):
+        word = encode(Instruction("j", target=100))
+        assert (word >> 26) & 0x3F == OPCODES["j"].opcode
+        assert word & 0x3FFFFFF == 100
+
+
+class TestDecodeErrors:
+    def test_undefined_opcode(self):
+        with pytest.raises(DecodeError):
+            decode(63 << 26)
+
+    def test_undefined_funct(self):
+        with pytest.raises(DecodeError):
+            decode(0x000000FE)   # SOP group, funct 254
+
+    def test_out_of_range_word(self):
+        with pytest.raises(DecodeError):
+            decode(1 << 32)
+        with pytest.raises(DecodeError):
+            decode(-1)
+
+    def test_invalid_register_field(self):
+        # add with rd=31 (scalar regs only go to 15)
+        word = (0 << 26) | (31 << 21)
+        with pytest.raises(DecodeError):
+            decode(word)

@@ -1,0 +1,204 @@
+"""FPGA model tests: Table 1 reproduction, fitter claims, timing anchors."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import MTMode, ProcessorConfig
+from repro.fpga import (
+    ALL_DEVICES,
+    EP2C35,
+    EP2C70,
+    PAPER_TABLE1,
+    PEOrganization,
+    broadcast_settle_ns,
+    control_unit_resources,
+    device_by_name,
+    fits,
+    fmax_mhz,
+    max_pes,
+    network_resources,
+    nonpipelined_broadcast_fmax_mhz,
+    pe_array_resources,
+    pe_resources,
+    pipelined_fmax_mhz,
+    table1,
+    total_resources,
+)
+
+
+PROTO = ProcessorConfig()   # the paper's prototype configuration
+
+
+class TestTable1Reproduction:
+    """Experiment T1: the calibrated model reproduces Table 1 exactly."""
+
+    def test_control_unit_row(self):
+        row = control_unit_resources(PROTO)
+        assert (row.logic_elements, row.ram_blocks) == PAPER_TABLE1[
+            "Control Unit"]
+
+    def test_pe_array_row(self):
+        row = pe_array_resources(PROTO)
+        assert (row.logic_elements, row.ram_blocks) == PAPER_TABLE1[
+            "PE Array (16 PEs)"]
+
+    def test_network_row(self):
+        row = network_resources(PROTO)
+        assert (row.logic_elements, row.ram_blocks) == PAPER_TABLE1[
+            "Network"]
+
+    def test_total_row(self):
+        row = total_resources(PROTO)
+        assert (row.logic_elements, row.ram_blocks) == PAPER_TABLE1["Total"]
+
+    def test_fits_available(self):
+        avail = PAPER_TABLE1["Available"]
+        assert EP2C35.logic_elements == avail[0]
+        assert EP2C35.ram_blocks == avail[1]
+        assert fits(PROTO, EP2C35)
+
+    def test_table1_rows_complete(self):
+        rows = table1()
+        names = [r.name for r in rows]
+        assert names == ["Control Unit", "PE Array (16 PEs)", "Network",
+                         "Total"]
+
+    def test_per_pe_resources(self):
+        per_pe = pe_resources(PROTO)
+        assert per_pe.logic_elements == 5984 // 16
+        assert per_pe.ram_blocks == 96 // 16
+
+
+class TestScalingStructure:
+    def test_pe_les_scale_with_width(self):
+        wide = replace(PROTO, word_width=32)
+        assert pe_resources(wide).logic_elements > \
+            pe_resources(PROTO).logic_elements
+
+    def test_pe_rams_scale_with_threads(self):
+        more = replace(PROTO, num_threads=64)
+        assert pe_array_resources(more).ram_blocks > \
+            pe_array_resources(PROTO).ram_blocks
+
+    def test_network_les_scale_with_pes(self):
+        big = replace(PROTO, num_pes=256)
+        assert network_resources(big).logic_elements > \
+            network_resources(PROTO).logic_elements
+
+    def test_network_uses_no_ram(self):
+        for p in (4, 64, 1024):
+            assert network_resources(replace(PROTO, num_pes=p)).ram_blocks == 0
+
+    def test_higher_arity_cheaper_broadcast(self):
+        k2 = network_resources(replace(PROTO, num_pes=256,
+                                       broadcast_arity=2))
+        k8 = network_resources(replace(PROTO, num_pes=256,
+                                       broadcast_arity=8))
+        assert k8.logic_elements < k2.logic_elements
+
+    def test_local_memory_drives_rams(self):
+        small = replace(PROTO, lmem_words=256)
+        assert pe_array_resources(small).ram_blocks < \
+            pe_array_resources(PROTO).ram_blocks
+
+
+class TestPEOrganizations:
+    """Section 9 future work: leaner PE memory organizations."""
+
+    def test_flag_sharing_saves_blocks(self):
+        shared = PEOrganization(flag_share_pes=4)
+        assert pe_array_resources(PROTO, shared).ram_blocks < \
+            pe_array_resources(PROTO).ram_blocks
+
+    def test_single_copy_gpr_saves_blocks(self):
+        lean = PEOrganization(gpr_copies=1)
+        assert pe_array_resources(PROTO, lean).ram_blocks < \
+            pe_array_resources(PROTO).ram_blocks
+
+    def test_lean_orgs_fit_more_pes(self):
+        default_fit = max_pes(EP2C35)
+        lean_fit = max_pes(EP2C35, org=PEOrganization(gpr_copies=1,
+                                                      flag_share_pes=4))
+        assert lean_fit.max_pes > default_fit.max_pes
+
+
+class TestFitter:
+    """Experiment E5: 'RAM blocks limit the number of PEs' (Section 7)."""
+
+    def test_prototype_fits_exactly_16(self):
+        result = max_pes(EP2C35)
+        assert result.max_pes == 16
+
+    def test_limited_by_ram_not_logic(self):
+        result = max_pes(EP2C35)
+        assert result.limiting_resource == "ram"
+        assert result.logic_utilization < 0.5
+        assert result.ram_utilization > 0.9
+
+    def test_bigger_device_more_pes(self):
+        assert max_pes(EP2C70).max_pes > max_pes(EP2C35).max_pes
+
+    def test_impossible_fit(self):
+        tiny = device_by_name("FLEX 10K70")
+        result = max_pes(tiny, ProcessorConfig(num_threads=16))
+        assert result.max_pes == 0
+
+    def test_utilization_bounds(self):
+        result = max_pes(EP2C35)
+        assert 0 < result.logic_utilization <= 1
+        assert 0 < result.ram_utilization <= 1
+
+
+class TestDevices:
+    def test_catalog_complete(self):
+        assert len(ALL_DEVICES) == 6
+        names = {d.name for d in ALL_DEVICES}
+        assert "EP2C35" in names and "XCV1000E" in names
+
+    def test_lookup_by_name(self):
+        assert device_by_name("ep2c35") is EP2C35
+        with pytest.raises(KeyError):
+            device_by_name("EP999")
+
+    def test_ram_bits(self):
+        assert EP2C35.ram_bits == 105 * 4096
+
+
+class TestTimingModel:
+    def test_prototype_anchor_75mhz(self):
+        assert pipelined_fmax_mhz(PROTO) == pytest.approx(75, rel=0.02)
+
+    def test_li_anchor_68mhz(self):
+        li_like = ProcessorConfig(num_pes=95, num_threads=1,
+                                  word_width=8, pipelined_broadcast=False,
+                                  mt_mode=MTMode.SINGLE)
+        assert nonpipelined_broadcast_fmax_mhz(li_like) == pytest.approx(
+            68, rel=0.05)
+
+    def test_pipelined_clock_independent_of_pes(self):
+        small = replace(PROTO, num_pes=4)
+        large = replace(PROTO, num_pes=4096)
+        assert pipelined_fmax_mhz(small) == pipelined_fmax_mhz(large)
+
+    def test_nonpipelined_clock_degrades_with_pes(self):
+        # At small p the PE forwarding path still dominates (clock flat);
+        # once broadcast settle takes over, the clock strictly degrades.
+        def clock(p):
+            return fmax_mhz(ProcessorConfig(num_pes=p, num_threads=1,
+                                            pipelined_broadcast=False,
+                                            mt_mode=MTMode.SINGLE))
+        clocks = [clock(p) for p in (16, 64, 256, 1024, 4096)]
+        assert all(a >= b for a, b in zip(clocks, clocks[1:]))
+        assert clocks[-1] < clocks[0]
+        assert clock(4096) < clock(256) < clock(95)
+
+    def test_wider_words_slow_the_forwarding_path(self):
+        assert pipelined_fmax_mhz(replace(PROTO, word_width=32)) < \
+            pipelined_fmax_mhz(PROTO)
+
+    def test_settle_time_monotone(self):
+        assert broadcast_settle_ns(1024) > broadcast_settle_ns(16)
+
+    def test_fmax_dispatches_on_flags(self):
+        assert fmax_mhz(PROTO) == pipelined_fmax_mhz(PROTO)

@@ -1,0 +1,117 @@
+"""Property-based tests for the FPGA resource/timing models."""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import MTMode, ProcessorConfig
+from repro.fpga import (
+    EP2C35,
+    EP2C70,
+    PEOrganization,
+    control_unit_resources,
+    fits,
+    fmax_mhz,
+    max_pes,
+    network_resources,
+    pe_array_resources,
+    total_resources,
+)
+
+pes = st.sampled_from([1, 2, 4, 8, 16, 32, 64, 128, 256])
+threads = st.sampled_from([1, 2, 4, 8, 16, 32])
+widths = st.sampled_from([8, 16, 32])
+
+
+def make_cfg(p, t, w, **kw):
+    mode = MTMode.SINGLE if t == 1 else MTMode.FINE
+    return ProcessorConfig(num_pes=p, num_threads=t, word_width=w,
+                           mt_mode=mode, **kw)
+
+
+class TestResourceModelProperties:
+    @given(pes, threads, widths)
+    def test_total_is_sum_of_parts(self, p, t, w):
+        cfg = make_cfg(p, t, w)
+        total = total_resources(cfg)
+        parts = (control_unit_resources(cfg).logic_elements
+                 + pe_array_resources(cfg).logic_elements
+                 + network_resources(cfg).logic_elements)
+        assert total.logic_elements == parts
+        ram_parts = (control_unit_resources(cfg).ram_blocks
+                     + pe_array_resources(cfg).ram_blocks
+                     + network_resources(cfg).ram_blocks)
+        assert total.ram_blocks == ram_parts
+
+    @given(pes, threads, widths)
+    def test_resources_positive(self, p, t, w):
+        cfg = make_cfg(p, t, w)
+        total = total_resources(cfg)
+        assert total.logic_elements > 0
+        assert total.ram_blocks > 0
+
+    @given(threads, widths)
+    def test_monotone_in_pes(self, t, w):
+        prev_le = prev_ram = 0
+        for p in (1, 4, 16, 64, 256):
+            total = total_resources(make_cfg(p, t, w))
+            assert total.logic_elements > prev_le
+            assert total.ram_blocks >= prev_ram
+            prev_le, prev_ram = total.logic_elements, total.ram_blocks
+
+    @given(pes, widths)
+    def test_monotone_in_threads(self, p, w):
+        prev = 0
+        for t in (1, 4, 16, 64):
+            total = total_resources(make_cfg(p, t, w))
+            assert total.logic_elements >= prev
+            prev = total.logic_elements
+
+    @given(pes, threads)
+    def test_monotone_in_width(self, p, t):
+        le8 = total_resources(make_cfg(p, t, 8)).logic_elements
+        le32 = total_resources(make_cfg(p, t, 32)).logic_elements
+        assert le32 > le8
+
+    @given(pes, threads, widths,
+           st.sampled_from([1, 2]), st.sampled_from([1, 2, 4, 8]))
+    def test_leaner_orgs_never_cost_more_ram(self, p, t, w, copies, share):
+        cfg = make_cfg(p, t, w)
+        lean = PEOrganization(gpr_copies=copies, flag_share_pes=share)
+        assert pe_array_resources(cfg, lean).ram_blocks <= \
+            pe_array_resources(cfg).ram_blocks
+
+
+class TestFitterProperties:
+    @given(st.sampled_from([EP2C35, EP2C70]), threads)
+    def test_fit_boundary_is_tight(self, device, t):
+        cfg = make_cfg(16, t, 8)
+        result = max_pes(device, cfg)
+        if result.max_pes == 0:
+            assert not fits(replace(cfg, num_pes=1), device)
+            return
+        assert fits(replace(cfg, num_pes=result.max_pes), device)
+        assert not fits(replace(cfg, num_pes=result.max_pes + 1), device)
+
+    def test_more_threads_fewer_pes(self):
+        few = max_pes(EP2C35, make_cfg(16, 4, 8))
+        many = max_pes(EP2C35, make_cfg(16, 64, 8))
+        assert many.max_pes <= few.max_pes
+
+
+class TestTimingProperties:
+    @given(pes, widths)
+    def test_clock_positive_and_bounded(self, p, w):
+        for pipelined in (True, False):
+            cfg = make_cfg(p, 1, w, pipelined_broadcast=pipelined,
+                           pipelined_reduction=pipelined)
+            clock = fmax_mhz(cfg)
+            assert 1.0 < clock < 500.0
+
+    @given(pes)
+    def test_unpipelined_never_faster(self, p):
+        pipe = make_cfg(p, 1, 8)
+        legacy = make_cfg(p, 1, 8, pipelined_broadcast=False,
+                          pipelined_reduction=False)
+        assert fmax_mhz(legacy) <= fmax_mhz(pipe)

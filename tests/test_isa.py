@@ -1,0 +1,220 @@
+"""Tests for the opcode table, registers, and instruction validation."""
+
+import pytest
+
+from repro.isa import registers as regs
+from repro.isa.instruction import Instruction, IsaError
+from repro.isa.opcodes import (
+    ALL_MNEMONICS,
+    ExecClass,
+    Format,
+    OPCODES,
+    lookup,
+)
+
+
+class TestRegisterParsing:
+    def test_scalar_names(self):
+        assert regs.parse_scalar_reg("s0") == 0
+        assert regs.parse_scalar_reg("s15") == 15
+        assert regs.parse_scalar_reg("S7") == 7
+
+    def test_aliases(self):
+        assert regs.parse_scalar_reg("zero") == 0
+        assert regs.parse_scalar_reg("ra") == regs.LINK_REG
+        assert regs.parse_scalar_reg("at") == regs.ASM_TEMP_REG
+
+    def test_dollar_prefix(self):
+        assert regs.parse_scalar_reg("$s3") == 3
+
+    def test_parallel_and_flag(self):
+        assert regs.parse_parallel_reg("p15") == 15
+        assert regs.parse_flag_reg("f7") == 7
+
+    @pytest.mark.parametrize("bad", ["s16", "s-1", "sx", "q3", "", "p"])
+    def test_bad_scalar(self, bad):
+        with pytest.raises(regs.RegisterError):
+            regs.parse_scalar_reg(bad)
+
+    def test_flag_out_of_range(self):
+        with pytest.raises(regs.RegisterError):
+            regs.parse_flag_reg("f8")
+
+    def test_names_roundtrip(self):
+        for i in range(16):
+            assert regs.parse_scalar_reg(regs.scalar_reg_name(i)) == i
+            assert regs.parse_parallel_reg(regs.parallel_reg_name(i)) == i
+        for i in range(8):
+            assert regs.parse_flag_reg(regs.flag_reg_name(i)) == i
+
+    def test_name_out_of_range(self):
+        with pytest.raises(regs.RegisterError):
+            regs.scalar_reg_name(16)
+        with pytest.raises(regs.RegisterError):
+            regs.flag_reg_name(8)
+
+
+class TestOpcodeTable:
+    def test_every_mnemonic_listed(self):
+        assert set(ALL_MNEMONICS) == set(OPCODES)
+        assert len(ALL_MNEMONICS) > 90   # a real ISA, not a toy subset
+
+    def test_unique_encodings(self):
+        seen = set()
+        for spec in OPCODES.values():
+            key = (spec.opcode, spec.funct if spec.fmt is Format.R else None)
+            assert key not in seen, f"duplicate encoding for {spec.mnemonic}"
+            seen.add(key)
+
+    def test_lookup_consistency(self):
+        for spec in OPCODES.values():
+            found = lookup(spec.opcode, spec.funct)
+            assert found is spec, spec.mnemonic
+
+    def test_lookup_unknown(self):
+        assert lookup(63, 0) is None
+
+    def test_exec_classes_cover_paper_taxonomy(self):
+        classes = {spec.exec_class for spec in OPCODES.values()}
+        assert classes == {ExecClass.SCALAR, ExecClass.PARALLEL,
+                           ExecClass.REDUCTION}
+
+    def test_scalar_ops_never_masked(self):
+        for spec in OPCODES.values():
+            if spec.exec_class is ExecClass.SCALAR:
+                assert not spec.masked, spec.mnemonic
+
+    def test_parallel_and_reduction_masked_except_psel(self):
+        for spec in OPCODES.values():
+            if spec.exec_class is not ExecClass.SCALAR:
+                assert spec.masked or spec.mnemonic == "psel", spec.mnemonic
+
+    def test_reduction_units_assigned(self):
+        for spec in OPCODES.values():
+            if spec.exec_class is ExecClass.REDUCTION:
+                assert spec.reduction_unit in (
+                    "logic", "maxmin", "sum", "count", "resolver"), \
+                    spec.mnemonic
+            else:
+                assert spec.reduction_unit is None, spec.mnemonic
+
+    def test_resolver_is_only_parallel_valued_reduction(self):
+        parallel_dest = [s.mnemonic for s in OPCODES.values()
+                         if s.parallel_dest]
+        assert parallel_dest == ["rfirst"]
+
+    def test_all_six_asc_primitives_present(self):
+        # Section 2: broadcast, search, responder detect, pick one,
+        # AND/OR reduce, max/min.
+        assert "pbcast" in OPCODES          # broadcast
+        assert "pceq" in OPCODES            # search
+        assert "rany" in OPCODES            # responder detection
+        assert "rfirst" in OPCODES          # pick one responder
+        assert "rand" in OPCODES and "ror" in OPCODES
+        assert "rmax" in OPCODES and "rmin" in OPCODES
+
+    def test_dest_and_srcs_use_known_fields(self):
+        valid_fields = {"rd", "rs", "rt", "mf", "link"}
+        for spec in OPCODES.values():
+            if spec.dest:
+                assert spec.dest[1] in valid_fields
+            for _, fname in spec.srcs:
+                assert fname in valid_fields, spec.mnemonic
+
+    def test_loads_and_stores_marked(self):
+        assert OPCODES["lw"].is_load and OPCODES["plw"].is_load
+        assert OPCODES["sw"].is_store and OPCODES["psw"].is_store
+        assert not OPCODES["lw"].is_store
+
+    def test_mul_div_flags(self):
+        for name in ("smul", "pmul", "pmuls"):
+            assert OPCODES[name].is_mul
+        for name in ("sdiv", "pdiv", "pdivs"):
+            assert OPCODES[name].is_div
+
+    def test_branch_and_jump_flags(self):
+        for name in ("beq", "bne", "blt", "bge"):
+            assert OPCODES[name].is_branch
+        for name in ("j", "jal", "jr"):
+            assert OPCODES[name].is_jump
+
+    def test_thread_ops(self):
+        for name in ("tspawn", "texit", "tjoin", "tput", "tget"):
+            assert OPCODES[name].is_thread_op
+
+
+class TestInstructionValidation:
+    def test_valid_construction(self):
+        instr = Instruction("add", rd=1, rs=2, rt=3)
+        assert instr.spec.mnemonic == "add"
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(IsaError):
+            Instruction("frobnicate")
+
+    def test_register_out_of_range(self):
+        with pytest.raises(IsaError):
+            Instruction("add", rd=16, rs=0, rt=0)
+
+    def test_flag_field_range(self):
+        with pytest.raises(IsaError):
+            Instruction("pceq", rd=8, rs=0, rt=0)   # flag dest > 7
+
+    def test_mask_range(self):
+        with pytest.raises(IsaError):
+            Instruction("padd", rd=1, rs=2, rt=3, mf=9)
+
+    def test_imm_signed_range(self):
+        Instruction("addi", rd=1, rs=0, imm=-32768)
+        with pytest.raises(IsaError):
+            Instruction("addi", rd=1, rs=0, imm=40000)
+
+    def test_imm_parallel_range(self):
+        Instruction("paddi", rd=1, rs=0, imm=4095)
+        with pytest.raises(IsaError):
+            Instruction("paddi", rd=1, rs=0, imm=5000)
+
+    def test_shamt_range(self):
+        with pytest.raises(IsaError):
+            Instruction("slli", rd=1, rs=0, imm=32)
+
+    def test_regidx_range(self):
+        with pytest.raises(IsaError):
+            Instruction("tput", rd=1, rs=2, imm=16)
+
+    def test_jump_target_range(self):
+        Instruction("j", target=(1 << 26) - 1)
+        with pytest.raises(IsaError):
+            Instruction("j", target=1 << 26)
+
+
+class TestHazardRoles:
+    def test_dest_reg_simple(self):
+        assert Instruction("add", rd=3, rs=1, rt=2).dest_reg() == ("s", 3)
+        assert Instruction("padd", rd=4, rs=1, rt=2).dest_reg() == ("p", 4)
+        assert Instruction("pceq", rd=2, rs=1, rt=2).dest_reg() == ("f", 2)
+        assert Instruction("rmax", rd=5, rs=1).dest_reg() == ("s", 5)
+        assert Instruction("rfirst", rd=3, rs=1).dest_reg() == ("f", 3)
+
+    def test_jal_implicit_link_dest(self):
+        assert Instruction("jal", target=0).dest_reg() == ("s", regs.LINK_REG)
+
+    def test_store_has_no_dest(self):
+        assert Instruction("sw", rd=1, rs=2, imm=0).dest_reg() is None
+        assert Instruction("halt").dest_reg() is None
+
+    def test_branch_sources(self):
+        srcs = Instruction("beq", rd=1, rs=2, imm=0).src_regs()
+        assert ("s", 1) in srcs and ("s", 2) in srcs
+
+    def test_masked_instr_reads_mask_flag(self):
+        srcs = Instruction("padd", rd=1, rs=2, rt=3, mf=5).src_regs()
+        assert ("f", 5) in srcs
+
+    def test_psel_reads_selector(self):
+        srcs = Instruction("psel", rd=1, rs=2, rt=3, mf=4).src_regs()
+        assert ("f", 4) in srcs and ("p", 2) in srcs and ("p", 3) in srcs
+
+    def test_store_value_is_source(self):
+        srcs = Instruction("psw", rd=1, rs=2, imm=0).src_regs()
+        assert ("p", 1) in srcs and ("p", 2) in srcs

@@ -1,0 +1,288 @@
+"""Broadcast/reduction network tests: latency math, structural trees,
+reduction semantics and identities, resolver properties, Falkoff oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.network import (
+    PipelinedBroadcastTree,
+    PipelinedReductionTree,
+    broadcast_latency,
+    reduction_latency,
+    tree_internal_nodes,
+)
+from repro.network import falkoff as fk
+from repro.network import reduction as red
+from repro.util.bitops import (
+    mask_for_width,
+    max_signed,
+    min_signed,
+    to_signed,
+    to_unsigned,
+)
+
+WIDTHS = st.sampled_from([8, 16])
+
+
+@st.composite
+def masked_vectors(draw, width=None):
+    w = width or draw(WIDTHS)
+    n = draw(st.integers(1, 64))
+    vals = draw(st.lists(st.integers(0, mask_for_width(w)),
+                         min_size=n, max_size=n))
+    mask = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    return w, np.array(vals, np.int64), np.array(mask, bool)
+
+
+class TestLatencyMath:
+    @pytest.mark.parametrize("p,k,expected", [
+        (1, 2, 1), (2, 2, 1), (4, 2, 2), (16, 2, 4), (17, 2, 5),
+        (1024, 2, 10), (16, 4, 2), (64, 4, 3), (16, 16, 1), (17, 16, 2),
+    ])
+    def test_broadcast_latency(self, p, k, expected):
+        assert broadcast_latency(p, k) == expected
+
+    @pytest.mark.parametrize("p,expected", [
+        (1, 1), (2, 1), (16, 4), (100, 7), (4096, 12)])
+    def test_reduction_latency(self, p, expected):
+        assert reduction_latency(p) == expected
+
+    def test_paper_prototype_depths(self):
+        # 16 PEs: lg 16 = 4 reduction stages (Section 6.4).
+        assert reduction_latency(16) == 4
+
+    def test_arity_reduces_broadcast_depth(self):
+        assert broadcast_latency(256, 4) < broadcast_latency(256, 2)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            broadcast_latency(0, 2)
+        with pytest.raises(ValueError):
+            broadcast_latency(4, 1)
+
+    @pytest.mark.parametrize("p,k,expected", [
+        (16, 2, 15), (16, 4, 5), (8, 2, 7), (2, 2, 1), (1, 2, 1)])
+    def test_internal_nodes(self, p, k, expected):
+        assert tree_internal_nodes(p, k) == expected
+
+
+class TestStructuralBroadcastTree:
+    def test_latency_matches_math(self):
+        tree = PipelinedBroadcastTree(16, arity=2)
+        outputs = [tree.tick(i) for i in range(10)]
+        lat = broadcast_latency(16, 2)
+        assert outputs[:lat] == [None] * lat
+        assert outputs[lat:] == list(range(10 - lat))
+
+    def test_initiation_rate_one_per_cycle(self):
+        tree = PipelinedBroadcastTree(8)
+        lat = tree.latency
+        results = [tree.tick(i) for i in range(20)]
+        # After the fill, every tick yields exactly one delivery.
+        assert results[lat:] == list(range(20 - lat))
+
+    def test_bubbles_propagate(self):
+        tree = PipelinedBroadcastTree(4)
+        seq = ["a", None, "b"]
+        out = [tree.tick(v) for v in seq + [None] * tree.latency]
+        delivered = [v for v in out if v is not None]
+        assert delivered == ["a", "b"]
+
+
+class TestStructuralReductionTree:
+    @given(masked_vectors(width=16))
+    def test_matches_functional_max(self, mv):
+        w, vals, _ = mv
+        tree = PipelinedReductionTree(len(vals), np.maximum, 0)
+        out = None
+        tree.tick(vals)
+        for _ in range(tree.latency):
+            out = tree.tick(None)
+            if out is not None:
+                break
+        assert out == int(vals.max())
+
+    def test_latency_exact(self):
+        vals = np.arange(16, dtype=np.int64)
+        tree = PipelinedReductionTree(16, np.add, 0)
+        results = [tree.tick(vals)] + [tree.tick(None) for _ in range(10)]
+        first = next(i for i, r in enumerate(results) if r is not None)
+        assert first == tree.latency == reduction_latency(16)
+        assert results[first] == vals.sum()
+
+    def test_throughput_one_per_cycle(self):
+        tree = PipelinedReductionTree(8, np.add, 0)
+        inputs = [np.full(8, i, dtype=np.int64) for i in range(12)]
+        outs = []
+        for vec in inputs:
+            outs.append(tree.tick(vec))
+        for _ in range(tree.latency):
+            outs.append(tree.tick(None))
+        done = [o for o in outs if o is not None]
+        assert done == [8 * i for i in range(12)]
+
+    def test_shape_check(self):
+        tree = PipelinedReductionTree(8, np.add, 0)
+        with pytest.raises(ValueError):
+            tree.tick(np.zeros(4, np.int64))
+
+
+class TestTreeConfigConsistency:
+    """The structural trees and the config's derived depths must agree —
+    the core's timing model uses the latter, the unit tests the former."""
+
+    @pytest.mark.parametrize("p", [1, 2, 4, 16, 100, 1024])
+    def test_reduction_tree_latency_matches_config(self, p):
+        from repro.core import ProcessorConfig
+        tree = PipelinedReductionTree(p, np.maximum, 0)
+        cfg = ProcessorConfig(num_pes=p)
+        assert tree.latency == cfg.reduction_depth
+
+    @pytest.mark.parametrize("p,k", [(16, 2), (16, 4), (256, 2), (256, 8)])
+    def test_broadcast_tree_latency_matches_config(self, p, k):
+        from repro.core import ProcessorConfig
+        tree = PipelinedBroadcastTree(p, arity=k)
+        cfg = ProcessorConfig(num_pes=p, broadcast_arity=k)
+        assert tree.latency == cfg.broadcast_depth
+
+
+class TestReductionSemantics:
+    @given(masked_vectors())
+    def test_or_matches_numpy(self, mv):
+        w, vals, mask = mv
+        expected = 0
+        for v, m in zip(vals, mask):
+            if m:
+                expected |= int(v)
+        assert red.reduce_or(vals, mask, w) == expected & mask_for_width(w)
+
+    @given(masked_vectors())
+    def test_and_matches_numpy(self, mv):
+        w, vals, mask = mv
+        expected = mask_for_width(w)
+        for v, m in zip(vals, mask):
+            if m:
+                expected &= int(v)
+        assert red.reduce_and(vals, mask, w) == expected
+
+    @given(masked_vectors())
+    def test_max_signed(self, mv):
+        w, vals, mask = mv
+        active = [to_signed(int(v), w) for v, m in zip(vals, mask) if m]
+        expected = max(active) if active else min_signed(w)
+        assert to_signed(red.reduce_max(vals, mask, w), w) == expected
+
+    @given(masked_vectors())
+    def test_min_signed(self, mv):
+        w, vals, mask = mv
+        active = [to_signed(int(v), w) for v, m in zip(vals, mask) if m]
+        expected = min(active) if active else max_signed(w)
+        assert to_signed(red.reduce_min(vals, mask, w), w) == expected
+
+    @given(masked_vectors())
+    def test_unsigned_extrema(self, mv):
+        w, vals, mask = mv
+        active = [int(v) for v, m in zip(vals, mask) if m]
+        assert red.reduce_max_unsigned(vals, mask, w) == (
+            max(active) if active else 0)
+        assert red.reduce_min_unsigned(vals, mask, w) == (
+            min(active) if active else mask_for_width(w))
+
+    @given(masked_vectors())
+    def test_sum_saturates(self, mv):
+        w, vals, mask = mv
+        total = sum(to_signed(int(v), w) for v, m in zip(vals, mask) if m)
+        clamped = max(min(total, max_signed(w)), min_signed(w))
+        assert to_signed(red.reduce_sum(vals, mask, w), w) == clamped
+
+    def test_sum_saturation_positive(self):
+        vals = np.full(10, 100, np.int64)   # 1000 > 127
+        assert to_signed(red.reduce_sum(vals, np.ones(10, bool), 8), 8) == 127
+
+    def test_sum_saturation_negative(self):
+        vals = np.full(10, to_unsigned(-100, 8), np.int64)
+        assert to_signed(red.reduce_sum(vals, np.ones(10, bool), 8), 8) == -128
+
+    @given(masked_vectors())
+    def test_count_and_any(self, mv):
+        w, vals, mask = mv
+        flags = vals % 2 == 1
+        expected = int(np.count_nonzero(flags & mask))
+        assert red.count_responders(flags, mask) == expected
+        assert red.any_responders(flags, mask) == (1 if expected else 0)
+
+    def test_rget_single_responder(self):
+        vals = np.array([10, 20, 30], np.int64)
+        mask = np.array([False, True, False])
+        assert red.reduce_or(vals, mask, 8) == 20
+
+
+class TestResolver:
+    @given(st.lists(st.booleans(), min_size=1, max_size=64),
+           st.lists(st.booleans(), min_size=1, max_size=64))
+    def test_first_responder_properties(self, flags, mask):
+        n = min(len(flags), len(mask))
+        f = np.array(flags[:n]), np.array(mask[:n])
+        first = red.resolve_first(f[0], f[1])
+        responders = f[0] & f[1]
+        if responders.any():
+            # exactly one bit, and it is the lowest-numbered responder
+            assert first.sum() == 1
+            assert int(np.flatnonzero(first)[0]) == int(
+                np.flatnonzero(responders)[0])
+        else:
+            assert not first.any()
+
+    def test_no_responders(self):
+        out = red.resolve_first(np.zeros(8, bool), np.ones(8, bool))
+        assert not out.any()
+
+    def test_mask_excludes(self):
+        flags = np.array([True, True, False])
+        mask = np.array([False, True, True])
+        out = red.resolve_first(flags, mask)
+        assert out.tolist() == [False, True, False]
+
+
+class TestFalkoff:
+    @given(masked_vectors())
+    def test_falkoff_max_unsigned_matches_tree(self, mv):
+        w, vals, mask = mv
+        result = fk.falkoff_max_unsigned(vals, mask, w)
+        assert result.value == red.reduce_max_unsigned(vals, mask, w)
+        assert result.steps == w
+
+    @given(masked_vectors())
+    def test_falkoff_min_unsigned_matches_tree(self, mv):
+        w, vals, mask = mv
+        result = fk.falkoff_min_unsigned(vals, mask, w)
+        assert result.value == red.reduce_min_unsigned(vals, mask, w)
+
+    @given(masked_vectors())
+    def test_falkoff_max_signed_matches_tree(self, mv):
+        w, vals, mask = mv
+        result = fk.falkoff_max_signed(vals, mask, w)
+        assert result.value == red.reduce_max(vals, mask, w)
+
+    @given(masked_vectors())
+    def test_falkoff_min_signed_matches_tree(self, mv):
+        w, vals, mask = mv
+        result = fk.falkoff_min_signed(vals, mask, w)
+        assert result.value == red.reduce_min(vals, mask, w)
+
+    @given(masked_vectors())
+    def test_candidates_hold_the_maximum(self, mv):
+        w, vals, mask = mv
+        result = fk.falkoff_max_unsigned(vals, mask, w)
+        if mask.any():
+            assert result.candidates.any()
+            assert (vals[result.candidates] == result.value).all()
+            # candidates are a subset of the active PEs
+            assert not (result.candidates & ~mask).any()
+        else:
+            assert not result.candidates.any()
+
+    def test_cycle_cost_is_word_width(self):
+        assert fk.falkoff_cycles(8) == 8
+        assert fk.falkoff_cycles(16) == 16

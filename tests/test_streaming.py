@@ -1,0 +1,118 @@
+"""Tiled/streaming execution tests (the programmer-managed cache story)."""
+
+import numpy as np
+import pytest
+
+from repro.asm import assemble
+from repro.core import ProcessorConfig, Processor
+from repro.programs.streaming import (
+    StreamingError,
+    TiledReducer,
+    split_tiles,
+    stream_statistics,
+)
+
+
+def cfg(pes=32):
+    return ProcessorConfig(num_pes=pes, word_width=16)
+
+
+class TestSplitTiles:
+    def test_exact_multiple(self):
+        tiles = split_tiles({0: np.arange(64)}, 32)
+        assert len(tiles) == 2
+        assert tiles[0][0] == 0 and tiles[1][0] == 32
+        assert tiles[1][2].sum() == 32
+
+    def test_ragged_final_tile(self):
+        tiles = split_tiles({0: np.arange(70)}, 32)
+        assert len(tiles) == 3
+        base, cols, valid = tiles[2]
+        assert base == 64
+        assert valid.sum() == 6
+        assert cols[0][:6].tolist() == list(range(64, 70))
+        assert (cols[0][6:] == 0).all()
+
+    def test_small_dataset_single_tile(self):
+        tiles = split_tiles({0: np.arange(5)}, 32)
+        assert len(tiles) == 1
+        assert tiles[0][2].sum() == 5
+
+    def test_multiple_columns_aligned(self):
+        tiles = split_tiles({0: np.arange(40), 1: np.arange(40) * 2}, 32)
+        assert (tiles[0][1][1][:32] == np.arange(32) * 2).all()
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(StreamingError):
+            split_tiles({0: np.arange(10), 1: np.arange(9)}, 32)
+
+    def test_empty_rejected(self):
+        with pytest.raises(StreamingError):
+            split_tiles({0: np.array([])}, 32)
+        with pytest.raises(StreamingError):
+            split_tiles({}, 32)
+
+
+class TestStreamStatistics:
+    @pytest.mark.parametrize("n", [1, 31, 32, 33, 100, 1000])
+    def test_matches_numpy_at_any_size(self, n):
+        rng = np.random.default_rng(n)
+        data = rng.integers(0, 400, size=n)
+        stats, tiles = stream_statistics(data, cfg())
+        assert stats["max"] == int(data.max())
+        assert stats["min"] == int(data.min())
+        assert stats["count"] == n
+        if stats["saturated_tiles"] == 0:
+            assert stats["sum"] == int(data.sum())
+
+    def test_tile_count(self):
+        data = np.arange(100)
+        _, tiles = stream_statistics(data, cfg(pes=32))
+        assert len(tiles) == 4
+        assert [t.count for t in tiles] == [32, 32, 32, 4]
+
+    def test_padding_never_pollutes_min(self):
+        # All values large; zero padding must not become the minimum.
+        data = np.full(33, 300)
+        stats, _ = stream_statistics(data, cfg(pes=32))
+        assert stats["min"] == 300
+
+    def test_saturation_reported(self):
+        # 32 * 2000 = 64,000 > 32767: every full tile saturates.
+        data = np.full(64, 2000)
+        stats, _ = stream_statistics(data, cfg(pes=32))
+        assert stats["saturated_tiles"] >= 1
+
+    def test_per_tile_cycles_recorded(self):
+        _, tiles = stream_statistics(np.arange(64), cfg(pes=32))
+        assert all(t.cycles > 0 for t in tiles)
+
+
+class TestTiledReducer:
+    def test_custom_reducer(self):
+        """Count matches of a key across a dataset 10x the array size."""
+        program = assemble("""
+.text
+    plw    p1, 0(p0)
+    plw    p2, 1(p0)
+    fclr   f1
+    pceqi  f1, p1, 7
+    fclr   f2
+    pceqi  f2, p2, 1
+    fand   f1, f1, f2
+    rcount s1, f1
+    halt
+""", word_width=16)
+        machine = cfg(pes=16)
+        data = np.tile(np.arange(16), 10)      # 160 records, 7 appears 10x
+
+        reducer = TiledReducer(
+            machine, program,
+            run_tile=lambda proc: {"hits": proc.run().scalar(1)},
+            valid_col=1)
+        total, tiles = reducer.run({0: data},
+                                   combine=lambda acc, out, t:
+                                   acc + out["hits"],
+                                   initial=0)
+        assert total == 10
+        assert len(tiles) == 10

@@ -1,0 +1,228 @@
+"""Timing-model tests: the paper's hazard penalties must fall out exactly."""
+
+import pytest
+
+from repro.core import timing
+from repro.core.config import (
+    BranchPolicy,
+    DividerKind,
+    MTMode,
+    MultiplierKind,
+    ProcessorConfig,
+)
+from repro.core import stats as st_
+from repro.isa.opcodes import OPCODES
+
+
+def cfg_for(p, **kw):
+    return ProcessorConfig(num_pes=p, num_threads=16, **kw)
+
+
+class TestResultOffsets:
+    def test_scalar_alu(self):
+        cfg = cfg_for(16)
+        assert timing.result_offset(OPCODES["add"], cfg) == 2
+
+    def test_scalar_load(self):
+        cfg = cfg_for(16)
+        assert timing.result_offset(OPCODES["lw"], cfg) == 3
+
+    def test_parallel_alu_includes_broadcast(self):
+        cfg = cfg_for(16)   # b = 4
+        assert timing.result_offset(OPCODES["padd"], cfg) == 4 + 3
+
+    def test_parallel_load(self):
+        cfg = cfg_for(16)
+        assert timing.result_offset(OPCODES["plw"], cfg) == 4 + 4
+
+    def test_reduction_b_plus_r(self):
+        cfg = cfg_for(16)   # b = 4, r = 4
+        assert timing.result_offset(OPCODES["rmax"], cfg) == 4 + 2 + 4
+
+    def test_store_has_no_result(self):
+        cfg = cfg_for(16)
+        assert timing.result_offset(OPCODES["sw"], cfg) is None
+        assert timing.result_offset(OPCODES["halt"], cfg) is None
+
+    def test_jal_has_result(self):
+        cfg = cfg_for(16)
+        assert timing.result_offset(OPCODES["jal"], cfg) == 2
+
+    def test_sequential_multiplier_latency(self):
+        cfg = cfg_for(16, multiplier=MultiplierKind.SEQUENTIAL)
+        # scalar: 1 + W; parallel: b + 2 + W
+        assert timing.result_offset(OPCODES["smul"], cfg) == 1 + 8
+        assert timing.result_offset(OPCODES["pmul"], cfg) == 4 + 2 + 8
+
+    def test_pipelined_multiplier_latency(self):
+        cfg = cfg_for(16, multiplier=MultiplierKind.PIPELINED)
+        assert timing.result_offset(OPCODES["pmul"], cfg) == 4 + 2 + 3
+
+    def test_no_multiplier_raises(self):
+        cfg = cfg_for(16, multiplier=MultiplierKind.NONE)
+        with pytest.raises(ValueError):
+            timing.result_offset(OPCODES["pmul"], cfg)
+
+    def test_no_divider_raises(self):
+        cfg = cfg_for(16, divider=DividerKind.NONE)
+        with pytest.raises(ValueError):
+            timing.result_offset(OPCODES["pdiv"], cfg)
+
+
+class TestHazardPenalties:
+    """Derive the Figure-2 stall counts from the offsets directly."""
+
+    def penalty(self, producer, consumer_offset, cfg):
+        r = timing.result_offset(OPCODES[producer], cfg)
+        earliest = r + 1 - consumer_offset          # relative to producer issue
+        return max(0, earliest - 1)                 # vs back-to-back (+1)
+
+    def test_broadcast_hazard_is_free_with_forwarding(self):
+        # Figure 2 top: scalar SUB -> parallel PADD, no stall.
+        cfg = cfg_for(16)
+        assert self.penalty("sub", timing.SCALAR_READ_OFFSET, cfg) == 0
+
+    def test_reduction_hazard_is_b_plus_r(self):
+        # Figure 2 middle: RMAX -> scalar SUB stalls b + r.
+        for p in (4, 16, 64, 256, 1024):
+            cfg = cfg_for(p)
+            b, r = cfg.broadcast_depth, cfg.reduction_depth
+            assert self.penalty("rmax", timing.SCALAR_READ_OFFSET,
+                                cfg) == b + r
+
+    def test_broadcast_reduction_hazard_is_b_plus_r(self):
+        # Figure 2 bottom: RMAX -> parallel PADD (scalar operand at B1).
+        cfg = cfg_for(16)
+        b, r = cfg.broadcast_depth, cfg.reduction_depth
+        assert self.penalty("rmax", timing.SCALAR_READ_OFFSET, cfg) == b + r
+
+    def test_load_use_one_cycle(self):
+        cfg = cfg_for(16)
+        assert self.penalty("lw", timing.SCALAR_READ_OFFSET, cfg) == 1
+
+    def test_parallel_back_to_back_free(self):
+        cfg = cfg_for(16)
+        assert self.penalty("padd", timing.parallel_read_offset(cfg),
+                            cfg) == 0
+
+    def test_parallel_load_use_one_cycle(self):
+        cfg = cfg_for(16)
+        assert self.penalty("plw", timing.parallel_read_offset(cfg),
+                            cfg) == 1
+
+    def test_resolver_to_parallel_is_r_minus_1(self):
+        # rfirst's parallel output reaches a parallel consumer after only
+        # r - 1 extra cycles: the consumer's own broadcast overlaps the
+        # resolver's prefix network, and the PE EX forward point buys one
+        # more cycle — much cheaper than a full reduction hazard.
+        cfg = cfg_for(16)
+        assert self.penalty("rfirst", timing.parallel_read_offset(cfg),
+                            cfg) == cfg.reduction_depth - 1
+
+
+class TestLegacyNetworkTiming:
+    def test_unpipelined_reduction_uses_falkoff(self):
+        cfg = ProcessorConfig(num_pes=16, num_threads=1,
+                              mt_mode=MTMode.SINGLE,
+                              pipelined_broadcast=False,
+                              pipelined_reduction=False)
+        assert timing.reduction_compute_cycles(OPCODES["rmax"], cfg) == 8
+        assert timing.reduction_compute_cycles(OPCODES["ror"], cfg) == 1
+
+    def test_unpipelined_broadcast_single_stage(self):
+        cfg = ProcessorConfig(num_pes=1024, num_threads=1,
+                              mt_mode=MTMode.SINGLE,
+                              pipelined_broadcast=False)
+        assert cfg.broadcast_depth == 1
+
+    def test_pipelined_depths_scale(self):
+        assert cfg_for(1024).broadcast_depth == 10
+        assert cfg_for(1024).reduction_depth == 10
+
+
+class TestControlResolve:
+    def test_branch_stall_policy(self):
+        cfg = cfg_for(16, branch_policy=BranchPolicy.STALL)
+        assert timing.control_resolve_offset(OPCODES["beq"], cfg, True) == 3
+        assert timing.control_resolve_offset(OPCODES["beq"], cfg, False) == 3
+
+    def test_predict_not_taken(self):
+        cfg = cfg_for(16, branch_policy=BranchPolicy.PREDICT_NOT_TAKEN)
+        assert timing.control_resolve_offset(OPCODES["beq"], cfg, False) == 1
+        assert timing.control_resolve_offset(OPCODES["beq"], cfg, True) == 3
+
+    def test_jumps(self):
+        cfg = cfg_for(16)
+        assert timing.control_resolve_offset(OPCODES["j"], cfg, True) == 2
+        assert timing.control_resolve_offset(OPCODES["jal"], cfg, True) == 2
+        assert timing.control_resolve_offset(OPCODES["jr"], cfg, True) == 3
+
+    def test_non_control_is_one(self):
+        cfg = cfg_for(16)
+        assert timing.control_resolve_offset(OPCODES["add"], cfg, False) == 1
+
+
+class TestClassifyRaw:
+    def test_reduction_to_scalar(self):
+        assert timing.classify_raw(OPCODES["rmax"], OPCODES["add"]) == \
+            st_.STALL_REDUCTION
+
+    def test_reduction_to_parallel(self):
+        assert timing.classify_raw(OPCODES["rmax"], OPCODES["padds"]) == \
+            st_.STALL_BCAST_REDUCTION
+
+    def test_scalar_to_parallel_is_broadcast(self):
+        assert timing.classify_raw(OPCODES["add"], OPCODES["padds"]) == \
+            st_.STALL_BROADCAST
+
+    def test_scalar_to_scalar(self):
+        assert timing.classify_raw(OPCODES["lw"], OPCODES["add"]) == \
+            st_.STALL_RAW_SCALAR
+
+    def test_parallel_to_parallel(self):
+        assert timing.classify_raw(OPCODES["plw"], OPCODES["padd"]) == \
+            st_.STALL_RAW_PARALLEL
+
+
+class TestStageSchedules:
+    def test_scalar_path_matches_figure1(self):
+        cfg = cfg_for(16)
+        slots = timing.stage_schedule(OPCODES["add"], cfg, issue_cycle=1)
+        assert [s.stage for s in slots] == ["IF", "ID", "SR", "EX", "MA", "WB"]
+        assert [s.cycle for s in slots] == [0, 1, 2, 3, 4, 5]
+
+    def test_parallel_path_matches_figure1(self):
+        cfg = cfg_for(4)   # b = 2 like the figure
+        slots = timing.stage_schedule(OPCODES["padd"], cfg, issue_cycle=1)
+        assert [s.stage for s in slots] == \
+            ["IF", "ID", "SR", "B1", "B2", "PR", "EX", "WB"]
+
+    def test_reduction_path_matches_figure1(self):
+        cfg = cfg_for(4)   # b = 2; force r = 4 like the figure via 16 leaves?
+        slots = timing.stage_schedule(OPCODES["rmax"], cfg, issue_cycle=1)
+        stages = [s.stage for s in slots]
+        assert stages[:6] == ["IF", "ID", "SR", "B1", "B2", "PR"]
+        assert stages[-1] == "WB"
+        assert all(s.startswith("R") for s in stages[6:-1])
+
+    def test_stall_repeats_id(self):
+        cfg = cfg_for(16)
+        slots = timing.stage_schedule(OPCODES["add"], cfg, issue_cycle=5,
+                                      fetch_cycle=1)
+        stages = [s.stage for s in slots]
+        assert stages[:5] == ["IF", "ID", "ID", "ID", "ID"]
+
+    def test_memory_stage_only_for_mem_ops(self):
+        cfg = cfg_for(16)
+        padd = [s.stage for s in timing.stage_schedule(OPCODES["padd"], cfg, 1)]
+        plw = [s.stage for s in timing.stage_schedule(OPCODES["plw"], cfg, 1)]
+        assert "MA" not in padd
+        assert "MA" in plw
+
+    def test_cycles_strictly_increasing(self):
+        cfg = cfg_for(64)
+        for name in ("add", "lw", "padd", "plw", "rmax", "rfirst", "pmul"):
+            slots = timing.stage_schedule(OPCODES[name], cfg, issue_cycle=3)
+            cycles = [s.cycle for s in slots]
+            assert cycles == sorted(cycles)
+            assert len(set(cycles)) == len(cycles)

@@ -1,0 +1,35 @@
+"""Execute every code block in docs/TUTORIAL.md (living documentation)."""
+
+import pathlib
+import re
+
+import pytest
+
+TUTORIAL = (pathlib.Path(__file__).resolve().parent.parent
+            / "docs" / "TUTORIAL.md")
+
+
+def code_blocks() -> list[str]:
+    text = TUTORIAL.read_text()
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+def test_tutorial_exists_with_blocks():
+    assert TUTORIAL.exists()
+    assert len(code_blocks()) >= 5
+
+
+def test_tutorial_blocks_execute_in_order():
+    namespace: dict = {}
+    for i, block in enumerate(code_blocks()):
+        try:
+            exec(compile(block, f"TUTORIAL.md[block {i}]", "exec"),
+                 namespace)
+        except Exception as exc:   # pragma: no cover - failure reporting
+            pytest.fail(f"tutorial block {i} failed: {exc}\n{block}")
+
+
+def test_tutorial_mentions_sibling_docs():
+    text = TUTORIAL.read_text()
+    for doc in ("ASSEMBLY.md", "ISA.md", "ARCHITECTURE.md"):
+        assert doc in text

@@ -1,0 +1,82 @@
+"""VCD export tests."""
+
+import re
+
+import pytest
+
+from repro.core import MTMode, ProcessorConfig, run_program
+from repro.core.vcd import build_vcd, write_vcd
+
+
+def traced(src, **kw):
+    kw.setdefault("num_pes", 4)
+    kw.setdefault("num_threads", 1)
+    kw.setdefault("mt_mode", MTMode.SINGLE)
+    cfg = ProcessorConfig(word_width=16, **kw)
+    return run_program(".text\n" + src, cfg, trace=True), cfg
+
+
+SIMPLE = """
+    li   s1, 3
+    pbcast p1, s1
+    rmax s2, p1
+    halt
+"""
+
+
+class TestVcdStructure:
+    def test_header_and_definitions(self):
+        res, cfg = traced(SIMPLE)
+        vcd = build_vcd(res.trace, cfg)
+        assert "$timescale 1 ns $end" in vcd
+        assert "$enddefinitions $end" in vcd
+        for stage in ("IF", "ID", "SR", "EX", "B1", "PR", "R1", "WB"):
+            assert re.search(rf"\$var wire \d+ . {stage} \$end", vcd), stage
+
+    def test_machine_description_embedded(self):
+        res, cfg = traced(SIMPLE)
+        assert cfg.describe() in build_vcd(res.trace, cfg)
+
+    def test_timestamps_monotone(self):
+        res, cfg = traced(SIMPLE)
+        vcd = build_vcd(res.trace, cfg)
+        stamps = [int(m) for m in re.findall(r"^#(\d+)$", vcd, re.M)]
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == len(stamps)
+
+    def test_pc_values_appear(self):
+        res, cfg = traced(SIMPLE)
+        vcd = build_vcd(res.trace, cfg)
+        # pc 2 (rmax) occupies R1 at some point: binary 10.
+        assert re.search(r"^b10 .$", vcd, re.M)
+
+    def test_every_stage_returns_to_z(self):
+        res, cfg = traced(SIMPLE)
+        vcd = build_vcd(res.trace, cfg)
+        assert vcd.count("bz ") >= 8   # initial dump + releases
+
+    def test_issue_signals_per_thread(self):
+        cfg = ProcessorConfig(num_pes=4, num_threads=2, word_width=16)
+        res = run_program("""
+.text
+main:
+    tspawn s1, w
+    halt
+w:
+    texit
+""", cfg, trace=True)
+        vcd = build_vcd(res.trace, cfg)
+        assert "issue_t0" in vcd and "issue_t1" in vcd
+
+    def test_write_to_file(self, tmp_path):
+        res, cfg = traced(SIMPLE)
+        path = tmp_path / "pipe.vcd"
+        write_vcd(path, res.trace, cfg)
+        text = path.read_text()
+        assert text.startswith("$date")
+        assert text.endswith("\n")
+
+    def test_large_machine_stage_count(self):
+        res, cfg = traced(SIMPLE, num_pes=256)
+        vcd = build_vcd(res.trace, cfg)
+        assert "B8" in vcd and "R8" in vcd

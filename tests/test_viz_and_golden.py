@@ -1,0 +1,103 @@
+"""ASCII viz tests + golden cycle-count regression net.
+
+The golden numbers freeze the timing model's behaviour for the kernel
+suite at a fixed machine shape.  If a core change shifts any of them,
+the test fails and the new numbers must be reviewed (and EXPERIMENTS.md
+re-measured) deliberately rather than silently drifting.
+"""
+
+import pytest
+
+from repro.bench import bar_chart, line_chart, sparkline
+from repro.core import MTMode, ProcessorConfig
+from repro.programs import ALL_KERNEL_BUILDERS, run_kernel
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        out = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[1].count("█") == 10        # max fills the width
+        assert lines[0].count("█") == 5
+
+    def test_title(self):
+        assert bar_chart(["x"], [1], title="T").splitlines()[0] == "T"
+
+    def test_zero_values(self):
+        out = bar_chart(["a"], [0.0])
+        assert "█" not in out
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1, 2])
+
+    def test_empty(self):
+        assert bar_chart([], [], title="t") == "t"
+
+
+class TestLineChart:
+    def test_contains_all_points(self):
+        out = line_chart([1, 2, 3], [1.0, 5.0, 3.0], height=4)
+        assert out.count("●") == 3
+
+    def test_flat_series(self):
+        out = line_chart([1, 2], [2.0, 2.0])
+        assert out.count("●") == 2
+
+    def test_mismatched(self):
+        with pytest.raises(ValueError):
+            line_chart([1], [1, 2])
+
+
+class TestSparkline:
+    def test_monotone(self):
+        s = sparkline([1, 2, 3, 4])
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_flat(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+# Golden cycle counts at the reference shape: p=32, T=16 (fine), W=16,
+# default kernels.  Regenerate with tools/update_golden.py after an
+# intentional timing-model change.
+GOLDEN_CYCLES = {
+    "assoc_max_extract": 196,
+    "count_matches": 12,
+    "database_query": 30,
+    "histogram": 138,
+    "image_threshold": 129,
+    "knn_search": 156,
+    "mst_prim": 459,
+    "multiword_add": 17,
+    "reduction_storm": 235,
+    "skyline_2d": 259,
+    "string_match": 25,
+    "vector_mac": 133,
+}
+
+
+def build(name):
+    builder = ALL_KERNEL_BUILDERS[name]
+    if name == "reduction_storm":
+        return builder(32, total_iters=32, threads=4)
+    if name == "mst_prim":
+        return builder(32, n=12)
+    return builder(32)
+
+
+class TestGoldenCycles:
+    @pytest.mark.parametrize("name", sorted(GOLDEN_CYCLES))
+    def test_cycle_count_frozen(self, name):
+        cfg = ProcessorConfig(num_pes=32, num_threads=16, word_width=16)
+        run = run_kernel(build(name), cfg)
+        assert run.cycles == GOLDEN_CYCLES[name], (
+            f"{name}: cycles changed {GOLDEN_CYCLES[name]} -> "
+            f"{run.cycles}; if intentional, update GOLDEN_CYCLES and "
+            f"re-measure EXPERIMENTS.md")
+
+    def test_golden_covers_all_kernels(self):
+        assert set(GOLDEN_CYCLES) == set(ALL_KERNEL_BUILDERS)

@@ -1,0 +1,93 @@
+"""32-bit configuration tests: the whole stack at the widest data path."""
+
+import numpy as np
+import pytest
+
+from repro.core import MTMode, ProcessorConfig, run_program
+from repro.programs import (
+    assoc_max_extract,
+    count_matches,
+    database_query,
+    vector_mac,
+    verify_kernel,
+)
+
+
+def cfg32(**kw):
+    kw.setdefault("num_pes", 16)
+    kw.setdefault("num_threads", 1)
+    kw.setdefault("mt_mode", MTMode.SINGLE)
+    return ProcessorConfig(word_width=32, **kw)
+
+
+class TestScalar32:
+    def test_full_width_constants(self):
+        res = run_program("""
+.text
+    li  s1, 0xDEADBEEF
+    li  s2, 0x00010000
+    add s3, s1, s2
+    halt
+""", cfg32())
+        assert res.scalar(1) == 0xDEADBEEF
+        assert res.scalar(3) == (0xDEADBEEF + 0x10000) & 0xFFFFFFFF
+
+    def test_wraparound_at_32(self):
+        res = run_program("""
+.text
+    li   s1, 0xFFFFFFFF
+    addi s2, s1, 1
+    halt
+""", cfg32())
+        assert res.scalar(2) == 0
+
+    def test_signed_compare_32(self):
+        res = run_program("""
+.text
+    li   s1, 0x80000000     # most negative
+    slt  s2, s1, s0
+    sltu s3, s1, s0
+    halt
+""", cfg32())
+        assert res.scalar(2) == 1
+        assert res.scalar(3) == 0
+
+
+class TestReductions32:
+    def test_rsum_saturates_at_31_bits(self):
+        cfg = cfg32(num_pes=4)
+        res = run_program("""
+.text
+    li    s1, 0x40000000    # 2^30
+    pbcast p1, s1
+    rsum  s2, p1            # 4 * 2^30 = 2^32 saturates to 2^31 - 1
+    halt
+""", cfg)
+        assert res.scalar(2) == 0x7FFFFFFF
+
+    def test_rmax_signed_32(self):
+        cfg = cfg32(num_pes=2)
+        res = run_program("""
+.text
+    li    s1, 0x80000000
+    pbcast p1, s1           # -2^31 everywhere
+    rmax  s2, p1
+    rmaxu s3, p1
+    halt
+""", cfg)
+        assert res.scalar(2) == 0x80000000
+        assert res.scalar(3) == 0x80000000
+
+
+class TestKernels32:
+    @pytest.mark.parametrize("builder", [
+        vector_mac, assoc_max_extract, count_matches, database_query])
+    def test_kernel_verifies_at_width_32(self, builder):
+        kernel = builder(32, width=32)
+        verify_kernel(kernel, ProcessorConfig(num_pes=32, word_width=32))
+
+    def test_wide_values_survive(self):
+        kernel = assoc_max_extract(16, rounds=3, width=32)
+        cfg = ProcessorConfig(num_pes=16, word_width=32)
+        run = verify_kernel(kernel, cfg)
+        assert run.cycles > 0

@@ -1,0 +1,166 @@
+"""Workload generators, table rendering, and benchmark harness tests."""
+
+import numpy as np
+import pytest
+
+from repro.bench import Comparison, Experiment, geometric_mean
+from repro.programs import workloads as wl
+from repro.util.tables import Table, format_table
+
+
+class TestWorkloadGenerators:
+    def test_random_field_deterministic(self):
+        a = wl.random_field(32, 16, seed=1)
+        b = wl.random_field(32, 16, seed=1)
+        assert (a == b).all()
+        c = wl.random_field(32, 16, seed=2)
+        assert (a != c).any()
+
+    def test_random_field_bounds(self):
+        vals = wl.random_field(100, 8, seed=0)
+        assert (vals >= 0).all() and (vals < 128).all()
+
+    def test_employee_table_shape(self):
+        table = wl.employee_table(20)
+        assert table.num_records == 20
+        assert (table.ages >= 20).all() and (table.ages < 65).all()
+        assert (table.depts < 4).all()
+
+    def test_random_image(self):
+        img = wl.random_image(16, 4, 16, seed=0)
+        assert img.shape == (4, 16)
+        assert (img >= 0).all()
+
+    def test_random_text_alphabet(self):
+        text = wl.random_text(100, alphabet=3, seed=0)
+        assert set(np.unique(text)) <= {1, 2, 3}
+
+    def test_planted_text_contains_pattern(self):
+        pat = np.array([7, 8, 9])
+        text = wl.planted_text(60, pat, occurrences=4, alphabet=3, seed=0)
+        count = sum(1 for i in range(len(text) - 2)
+                    if (text[i:i + 3] == pat).all())
+        assert count >= 4
+
+    def test_planted_text_too_many(self):
+        with pytest.raises(ValueError):
+            wl.planted_text(10, np.array([1, 2, 3]), occurrences=9)
+
+    def test_complete_graph_symmetric(self):
+        w = wl.random_complete_graph(8, 16, seed=0)
+        assert (w == w.T).all()
+        assert (np.diag(w) == 0).all()
+        assert (w[~np.eye(8, dtype=bool)] > 0).all()
+
+    def test_mst_reference_star_graph(self):
+        # Hand-checkable: 0-1=1, 0-2=1, 1-2=5 -> MST = 2.
+        w = np.array([[0, 1, 1], [1, 0, 5], [1, 5, 0]])
+        assert wl.mst_weight_reference(w) == 2
+
+    def test_mst_reference_chain(self):
+        w = np.full((4, 4), 100)
+        np.fill_diagonal(w, 0)
+        for i in range(3):
+            w[i, i + 1] = w[i + 1, i] = 1
+        assert wl.mst_weight_reference(w) == 3
+
+
+class TestTables:
+    def test_alignment(self):
+        text = format_table(("name", "value"), [("a", 1), ("bb", 22)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+
+    def test_title(self):
+        text = format_table(("x",), [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_number_formatting(self):
+        text = format_table(("v",), [(1234567,), (3.14159,), (float("nan"),)])
+        assert "1,234,567" in text
+        assert "3.14" in text
+        assert "-" in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [(1,)])
+
+    def test_table_accumulator(self):
+        t = Table(("a", "b"), title="T")
+        t.add_row(1, 2)
+        t.add_row(3, 4)
+        out = t.render()
+        assert "T" in out and "3" in out
+
+
+class TestComparison:
+    def test_within_tolerance(self):
+        assert Comparison("x", 100, 103, rel_tolerance=0.05).ok
+
+    def test_outside_tolerance(self):
+        assert not Comparison("x", 100, 120, rel_tolerance=0.05).ok
+
+    def test_zero_paper_value(self):
+        assert Comparison("x", 0, 0).ok
+        assert not Comparison("x", 0, 1).ok
+
+    def test_rel_error(self):
+        assert Comparison("x", 100, 110).rel_error == pytest.approx(0.1)
+
+
+class TestExperiment:
+    def test_accumulates_and_renders(self):
+        exp = Experiment("T1", "resources")
+        t = exp.new_table(("component", "LEs"))
+        t.add_row("CU", 1897)
+        exp.compare("total LEs", 9672, 9672)
+        exp.finding("RAM blocks are the limiting resource")
+        out = exp.render()
+        assert "T1" in out and "1,897" in out
+        assert "paper vs measured" in out
+        assert "finding:" in out
+        assert exp.all_ok
+
+    def test_all_ok_false_on_miss(self):
+        exp = Experiment("X", "t")
+        exp.compare("q", 100, 200)
+        assert not exp.all_ok
+
+
+class TestExperimentExport:
+    def test_to_dict_round_trips_through_json(self, tmp_path):
+        import json
+
+        exp = Experiment("E0", "demo")
+        t = exp.new_table(("x", "y"), title="tbl")
+        t.add_row("a", 1)
+        exp.compare("q", 10, 10)
+        exp.finding("finding text")
+        d = exp.to_dict()
+        assert d["id"] == "E0" and d["all_ok"]
+        assert d["tables"][0]["rows"] == [["a", 1]]
+        path = tmp_path / "exp.json"
+        exp.save(path)
+        loaded = json.loads(path.read_text())
+        assert loaded == d
+
+    def test_to_dict_handles_numpy_cells(self):
+        import numpy as np
+
+        exp = Experiment("E0", "demo")
+        t = exp.new_table(("v",))
+        t.add_row(np.int64(7))
+        assert exp.to_dict()["tables"][0]["rows"] == [[7]]
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        assert geometric_mean([2, 2, 2]) == pytest.approx(2.0)
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])

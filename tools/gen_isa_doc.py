@@ -1,0 +1,186 @@
+#!/usr/bin/env python
+"""Generate docs/ISA.md — the KASC-MT instruction-set reference.
+
+Everything in the manual is derived from the live opcode table and
+timing model, so regenerating after an ISA change keeps the manual
+honest:  python tools/gen_isa_doc.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.core.config import ProcessorConfig
+from repro.core import timing
+from repro.isa.opcodes import ExecClass, Format, OPCODES
+
+OPERAND_SYNTAX = {
+    "sreg": "sN", "preg": "pN", "freg": "fN", "imm": "imm",
+    "regidx": "idx", "target": "label", "mem_s": "imm(sN)",
+    "mem_p": "imm(pN)",
+}
+
+SEMANTICS = {
+    # Hand-written one-liners; everything else in the row is generated.
+    "add": "rd = rs + rt (wrapping)",
+    "sub": "rd = rs - rt",
+    "and": "rd = rs & rt", "or": "rd = rs | rt", "xor": "rd = rs ^ rt",
+    "nor": "rd = ~(rs | rt)",
+    "sll": "rd = rs << rt (clamped at 31; >=W gives 0)",
+    "srl": "rd = rs >> rt (logical)", "sra": "rd = rs >> rt (arithmetic)",
+    "slt": "rd = (rs < rt) signed", "sltu": "rd = (rs < rt) unsigned",
+    "smul": "rd = low W bits of rs * rt",
+    "sdiv": "rd = rs / rt truncating; x/0 = all-ones",
+    "addi": "rd = rs + imm", "andi": "rd = rs & imm",
+    "ori": "rd = rs | imm", "xori": "rd = rs ^ imm",
+    "slti": "rd = (rs < imm) signed", "sltiu": "rd = (rs < imm) unsigned",
+    "slli": "rd = rs << imm", "srli": "rd = rs >> imm (logical)",
+    "srai": "rd = rs >> imm (arithmetic)",
+    "lui": "rd = imm << 16 (32-bit machines)",
+    "lw": "rd = mem[rs + imm]", "sw": "mem[rs + imm] = rd",
+    "beq": "branch if rd == rs", "bne": "branch if rd != rs",
+    "blt": "branch if rd < rs (signed)", "bge": "branch if rd >= rs (signed)",
+    "j": "pc = target", "jal": "ra = pc + 1; pc = target",
+    "jr": "pc = rs", "halt": "stop the machine",
+    "tspawn": "rd = new thread id running at label (all-ones if none free)",
+    "texit": "release this hardware thread",
+    "tjoin": "wait until thread rs exits",
+    "tput": "thread[rd].s[idx] = rs", "tget": "rd = thread[rs].s[idx]",
+    "pbcast": "every active PE: pd = rs (broadcast)",
+    "psel": "every PE: pd = fM ? ps : pt",
+    "plw": "active PEs: pd = lmem[ps + imm]",
+    "psw": "active PEs: lmem[ps + imm] = pd",
+    "fset": "active PEs: fd = 1", "fclr": "active PEs: fd = 0",
+    "fnot": "active PEs: fd = !fs", "fmov": "active PEs: fd = fs",
+    "fand": "fd = fs & ft", "for": "fd = fs | ft", "fxor": "fd = fs ^ ft",
+    "fandn": "fd = fs & !ft",
+    "rand": "rd = AND of ps over active PEs (identity: all-ones)",
+    "ror": "rd = OR of ps over active PEs (identity: 0)",
+    "rget": "rd = OR of ps over active PEs (read a one-hot responder)",
+    "rmax": "rd = signed max of ps over active PEs",
+    "rmin": "rd = signed min of ps over active PEs",
+    "rmaxu": "rd = unsigned max", "rminu": "rd = unsigned min",
+    "rsum": "rd = saturating signed sum of ps over active PEs",
+    "rcount": "rd = number of active PEs with fs set",
+    "rany": "rd = 1 if any active PE has fs set, else 0",
+    "rfirst": "active PEs: fd = 1 only at the first responder of fs",
+}
+
+for base, sym in [("padd", "+"), ("psub", "-"), ("pand", "&"),
+                  ("por", "|"), ("pxor", "^")]:
+    SEMANTICS[base] = f"active PEs: pd = ps {sym} pt"
+    SEMANTICS[base + "s"] = f"active PEs: pd = ps {sym} rt (scalar operand)"
+SEMANTICS["pnor"] = "active PEs: pd = ~(ps | pt)"
+SEMANTICS["pnors"] = "active PEs: pd = ~(ps | rt)"
+for base in ("sll", "srl", "sra"):
+    SEMANTICS["p" + base] = f"active PEs: pd = ps shift pt ({base})"
+    SEMANTICS["p" + base + "s"] = f"active PEs: pd = ps shift rt ({base})"
+    SEMANTICS["p" + base + "i"] = f"active PEs: pd = ps shift imm ({base})"
+SEMANTICS["pmul"] = "active PEs: pd = low W bits of ps * pt"
+SEMANTICS["pmuls"] = "active PEs: pd = low W bits of ps * rt"
+SEMANTICS["pdiv"] = "active PEs: pd = ps / pt (truncating; /0 = all-ones)"
+SEMANTICS["pdivs"] = "active PEs: pd = ps / rt"
+for base in ("add", "and", "or", "xor"):
+    SEMANTICS[f"p{base}i"] = f"active PEs: pd = ps {base} imm"
+for base, rel in [("ceq", "=="), ("cne", "!="), ("clt", "< signed"),
+                  ("cle", "<= signed"), ("cltu", "< unsigned"),
+                  ("cleu", "<= unsigned")]:
+    SEMANTICS[f"p{base}"] = f"active PEs: fd = (ps {rel} pt)"
+    SEMANTICS[f"p{base}s"] = f"active PEs: fd = (ps {rel} rt)"
+for base, rel in [("ceq", "=="), ("cne", "!="), ("clt", "< signed"),
+                  ("cle", "<= signed")]:
+    SEMANTICS[f"p{base}i"] = f"active PEs: fd = (ps {rel} imm)"
+
+
+def latency_note(spec, cfg: ProcessorConfig) -> str:
+    try:
+        roff = timing.result_offset(spec, cfg)
+    except ValueError:
+        return "-"
+    if roff is None:
+        return "-"
+    if spec.exec_class is ExecClass.SCALAR:
+        return f"{roff}"
+    b = cfg.broadcast_depth
+    if spec.exec_class is ExecClass.PARALLEL:
+        return f"b+{roff - b}"
+    return f"b+r+{roff - b - cfg.reduction_depth}"
+
+
+def generate() -> str:
+    cfg = ProcessorConfig()   # prototype: p=16 -> b=4, r=4
+    lines = [
+        "# KASC-MT instruction set reference",
+        "",
+        "*Generated by `tools/gen_isa_doc.py` from the live opcode table*",
+        "*(`repro.isa.opcodes`) *and timing model; do not edit by hand.*",
+        "",
+        "RISC load-store, 32-bit fixed-width instructions. Per-thread",
+        "registers: `s0..s15` scalar (s0=0, s14=ra, s15=at),",
+        "`p0..p15` parallel per PE (p0=0), `f0..f7` one-bit flags per PE",
+        "(f0=1). Parallel/reduction instructions take an optional `[fN]`",
+        "execution mask (default `f0` = all PEs active); inactive PEs",
+        "neither write results nor contribute to reductions.",
+        "",
+        "**Result latency** is the issue-to-result offset in cycles",
+        "(`b` = broadcast stages, `r` = reduction stages; b = r = 4 on",
+        "the 16-PE prototype). A consumer stalls until the producer's",
+        "result reaches its forward point — see DESIGN.md §5.",
+        "",
+        "## Encoding formats",
+        "",
+        "```",
+        "R   op[31:26] rd[25:21] rs[20:16] rt[15:11] mf[10:8] funct[7:0]",
+        "I   op[31:26] rd[25:21] rs[20:16] imm16[15:0]",
+        "IP  op[31:26] rd[25:21] rs[20:16] mf[15:13] imm13[12:0]",
+        "J   op[31:26] target[25:0]",
+        "```",
+        "",
+    ]
+    sections = [
+        ("Scalar instructions", ExecClass.SCALAR),
+        ("Parallel instructions", ExecClass.PARALLEL),
+        ("Reduction instructions", ExecClass.REDUCTION),
+    ]
+    for title, klass in sections:
+        lines.append(f"## {title}")
+        lines.append("")
+        lines.append("| mnemonic | operands | fmt | enc | semantics |"
+                     " result latency |")
+        lines.append("|---|---|---|---|---|---|")
+        for name in sorted(OPCODES):
+            spec = OPCODES[name]
+            if spec.exec_class is not klass:
+                continue
+            operands = ", ".join(OPERAND_SYNTAX[kind]
+                                 for kind, _ in spec.operands)
+            if spec.masked:
+                operands = (operands + " [fM]") if operands else "[fM]"
+            enc = (f"op={spec.opcode}"
+                   + (f", funct={spec.funct}" if spec.fmt is Format.R
+                      else ""))
+            semantics = SEMANTICS.get(name, "")
+            lines.append(
+                f"| `{name}` | `{operands}` | {spec.fmt.value} | {enc} "
+                f"| {semantics} | {latency_note(spec, cfg)} |")
+        lines.append("")
+    lines += [
+        "## Pseudo-instructions",
+        "",
+        "Expanded by the assembler (see `repro.asm.assembler`): `nop`,",
+        "`li`, `la`, `move`, `not`, `neg`, `b`, `beqz`, `bnez`, `bgt`,",
+        "`ble`, `call`, `ret`, `pli`, `pmov`, `rnone`.",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def main() -> None:
+    out = pathlib.Path(__file__).resolve().parent.parent / "docs" / "ISA.md"
+    out.parent.mkdir(exist_ok=True)
+    out.write_text(generate())
+    print(f"wrote {out} ({len(generate().splitlines())} lines)")
+
+
+if __name__ == "__main__":
+    main()

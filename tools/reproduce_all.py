@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""One-shot artifact reproduction.
+
+Runs the full test suite, every experiment benchmark (archiving each
+experiment's tables/comparisons as JSON), and every example, then writes
+a summary report:
+
+    python tools/reproduce_all.py [--out results]
+
+Exit status is non-zero if anything failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def run_step(name: str, cmd: list[str], env: dict | None = None,
+             ) -> dict:
+    print(f"\n=== {name}: {' '.join(cmd)}")
+    started = time.time()
+    proc = subprocess.run(cmd, cwd=REPO, env=env,
+                          capture_output=True, text=True)
+    elapsed = time.time() - started
+    tail = "\n".join(proc.stdout.splitlines()[-3:])
+    print(tail)
+    status = "ok" if proc.returncode == 0 else "FAILED"
+    print(f"=== {name}: {status} in {elapsed:.1f}s")
+    return {"name": name, "command": cmd, "returncode": proc.returncode,
+            "seconds": round(elapsed, 1), "tail": tail}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--out", default="results",
+                        help="output directory (default: results/)")
+    args = parser.parse_args()
+
+    out_dir = (REPO / args.out).resolve()
+    out_dir.mkdir(parents=True, exist_ok=True)
+    env = dict(os.environ, REPRO_RESULTS_DIR=str(out_dir))
+
+    steps = [
+        run_step("unit/integration tests",
+                 [sys.executable, "-m", "pytest", "tests/", "-q"]),
+        run_step("experiment benchmarks",
+                 [sys.executable, "-m", "pytest", "benchmarks/",
+                  "--benchmark-only", "-q", "-s"], env=env),
+    ]
+    for script in sorted((REPO / "examples").glob("*.py")):
+        steps.append(run_step(f"example {script.name}",
+                              [sys.executable, str(script)]))
+
+    experiments = sorted(out_dir.glob("*.json"))
+    summary = {
+        "steps": steps,
+        "experiments_archived": [p.name for p in experiments
+                                 if p.name != "summary.json"],
+        "all_ok": all(s["returncode"] == 0 for s in steps),
+    }
+    (out_dir / "summary.json").write_text(json.dumps(summary, indent=2))
+
+    print(f"\n{'=' * 60}")
+    print(f"archived {len(summary['experiments_archived'])} experiment "
+          f"records + summary.json in {out_dir}")
+    print("ALL OK" if summary["all_ok"] else "FAILURES — see summary.json")
+    return 0 if summary["all_ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Recompute the golden cycle counts in tests/test_viz_and_golden.py.
+
+Run after an *intentional* timing-model change, review the diff, and
+re-measure EXPERIMENTS.md:  python tools/update_golden.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+from repro.core import ProcessorConfig
+from repro.programs import ALL_KERNEL_BUILDERS, run_kernel
+
+
+def build(name: str):
+    builder = ALL_KERNEL_BUILDERS[name]
+    if name == "reduction_storm":
+        return builder(32, total_iters=32, threads=4)
+    if name == "mst_prim":
+        return builder(32, n=12)
+    return builder(32)
+
+
+def main() -> None:
+    cfg = ProcessorConfig(num_pes=32, num_threads=16, word_width=16)
+    golden = {name: run_kernel(build(name), cfg).cycles
+              for name in sorted(ALL_KERNEL_BUILDERS)}
+    block = "GOLDEN_CYCLES = {\n" + "".join(
+        f'    "{name}": {cycles},\n' for name, cycles in golden.items()
+    ) + "}"
+    path = (pathlib.Path(__file__).resolve().parent.parent
+            / "tests" / "test_viz_and_golden.py")
+    text = path.read_text()
+    new_text, count = re.subn(r"GOLDEN_CYCLES = \{[^}]*\}", block, text)
+    if count != 1:
+        raise SystemExit("could not locate GOLDEN_CYCLES block")
+    path.write_text(new_text)
+    print(f"updated {path}:")
+    for name, cycles in golden.items():
+        print(f"  {name:20s} {cycles}")
+
+
+if __name__ == "__main__":
+    main()
