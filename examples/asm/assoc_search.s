@@ -1,0 +1,20 @@
+# Associative search: find all records matching a key, count them,
+# and extract the maximum payload among the responders.
+#
+# The fclr -> masked compare -> reduce shape is the canonical
+# associative idiom this machine (and `repro lint`) is built around.
+# Lint-clean by construction:
+#   python -m repro lint examples/asm/assoc_search.s --strict
+
+.equ KEY, 42
+
+.text
+main:
+    li    s1, KEY           # search key
+    fclr  f1                # responder mask: start with no responders
+    plw   p1, 0(p0)         # key column from PE local memory
+    plw   p2, 1(p0)         # payload column
+    pceqs f1, p1, s1        # mark PEs whose key matches
+    rcount s2, f1           # how many responders?
+    rmax  s3, p2 [f1]       # max payload among responders only
+    halt

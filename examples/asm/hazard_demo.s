@@ -1,0 +1,20 @@
+# Hazard showcase: every Figure-2 hazard class in one straight-line
+# program.  Run the linter to see the classified dependence table and
+# the exact static stall estimate, then run the simulator to confirm
+# the stall counters agree:
+#
+#   python -m repro lint examples/asm/hazard_demo.s --pes 64
+#   python -m repro run  examples/asm/hazard_demo.s --pes 64 --threads 1
+#
+# Larger machines (deeper broadcast/reduction trees) make the same
+# dependences cost more — compare --pes 16 with --pes 1024.
+
+.text
+main:
+    li    s1, 5
+    padds p1, p0, s1        # broadcast hazard: scalar feeds broadcast
+    rsum  s2, p1            # (pipelined: no stall if spaced)
+    add   s3, s2, s2        # reduction hazard: reduce feeds scalar
+    padds p2, p1, s3        # broadcast-reduction round trip
+    rmax  s4, p2            # back-to-back reductions
+    halt

@@ -1,0 +1,24 @@
+# Two-thread pipeline: a worker thread computes a parallel reduction
+# while the parent prepares the next scalar phase, then the parent
+# joins and reads the result back through the thread's register file.
+#
+# Demonstrates the thread-management ISA (tspawn/tput/tget/tjoin) in
+# the shape the lint checks expect: communicate before tjoin, never
+# after.  Lint-clean:
+#   python -m repro lint examples/asm/spawn_pipeline.s --strict
+
+.text
+main:
+    tspawn s1, worker       # s1 = handle of the spawned context
+    li    s2, 7
+    tput  s1, s2, 4         # deliver the operand into worker's s4
+    li    s3, 100           # overlap: parent-side setup
+    tjoin s1                # wait for worker to texit
+    halt
+
+worker:
+    plw   p1, 0(p0)         # data column
+    padds p2, p1, s4        # use the communicated operand (tput -> s4)
+    rsum  s5, p2            # reduce
+    sw    s5, 16(s0)        # publish the result to scalar memory
+    texit

@@ -1,0 +1,64 @@
+"""Static analysis over assembled programs.
+
+The paper's central quantitative argument (Sections 4-5) is *static*:
+broadcast, reduction, and broadcast-reduction hazards cost up to
+``b + r`` stall cycles, and compile-time scheduling cannot hide them
+because the reduction latency depends on the PE count.  This package
+reproduces that argument symbolically, from the program text alone:
+
+* :mod:`repro.analysis.cfg` — control-flow graph over the basic blocks
+  of :mod:`repro.opt.blocks`, with spawned-thread entry points;
+* :mod:`repro.analysis.dataflow` — reaching definitions, liveness, and
+  def-use chains across all three register files and execution masks;
+* :mod:`repro.analysis.deps` — the per-block dependence graph (RAW /
+  WAR / WAW / memory / barrier) shared with the list scheduler;
+* :mod:`repro.analysis.hazards` — the Figure-2 hazard classifier and a
+  static stall-cycle model that exactly reproduces the cycle-accurate
+  core's stall counters on straight-line code;
+* :mod:`repro.analysis.lint` — the ``repro lint`` pass manager.
+"""
+
+from repro.analysis.cfg import CFG, build_cfg
+from repro.analysis.dataflow import (
+    INIT_DEF,
+    DataflowResult,
+    Definition,
+    analyze_dataflow,
+)
+from repro.analysis.deps import BlockDeps, DepEdge, build_block_deps
+from repro.analysis.hazards import (
+    HazardEdge,
+    StallEstimate,
+    estimate_stalls,
+    hazard_edges,
+    is_straight_line,
+)
+from repro.analysis.lint import (
+    ALL_CHECKS,
+    AnalysisContext,
+    Diagnostic,
+    LintReport,
+    lint_program,
+)
+
+__all__ = [
+    "CFG",
+    "build_cfg",
+    "INIT_DEF",
+    "DataflowResult",
+    "Definition",
+    "analyze_dataflow",
+    "BlockDeps",
+    "DepEdge",
+    "build_block_deps",
+    "HazardEdge",
+    "StallEstimate",
+    "estimate_stalls",
+    "hazard_edges",
+    "is_straight_line",
+    "ALL_CHECKS",
+    "AnalysisContext",
+    "Diagnostic",
+    "LintReport",
+    "lint_program",
+]

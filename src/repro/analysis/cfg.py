@@ -1,0 +1,134 @@
+"""Control-flow graph over an assembled :class:`Program`.
+
+Builds on the basic-block partition of :mod:`repro.opt.blocks` (the
+blocks the static scheduler reorders within) and adds the edges between
+them: branch targets and fall-throughs, direct jumps, and the
+*thread entries* introduced by ``tspawn``.
+
+Conventions
+-----------
+* A spawned thread starts with a fresh context (zeroed registers), so a
+  ``tspawn`` target is recorded as an **entry** of the graph rather than
+  as a successor edge of the spawning block — no register dataflow
+  crosses a spawn.
+* ``jal`` is treated as a call: both the call target and the
+  fall-through (the return point) are successors, so code after a call
+  is considered reachable.
+* ``jr`` is an indirect transfer; it contributes no static successor
+  (:attr:`CFG.has_indirect` records that the graph is incomplete).
+* ``halt`` and ``texit`` terminate execution of the issuing thread and
+  have no successors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asm.program import Program
+from repro.opt.blocks import BasicBlock, basic_blocks
+
+
+@dataclass
+class CFG:
+    """Basic blocks plus edges, entries, and reachability."""
+
+    program: Program
+    blocks: list[BasicBlock]
+    succs: dict[int, list[int]] = field(default_factory=dict)
+    preds: dict[int, list[int]] = field(default_factory=dict)
+    # Block indices execution can start in: the program entry plus every
+    # tspawn target (each spawned thread begins with a fresh context).
+    entry_blocks: list[int] = field(default_factory=list)
+    spawn_entries: list[int] = field(default_factory=list)
+    has_indirect: bool = False
+
+    def block_of(self, pc: int) -> int:
+        """Index of the block containing instruction address ``pc``."""
+        for i, block in enumerate(self.blocks):
+            if block.start <= pc < block.end:
+                return i
+        raise IndexError(f"pc {pc} outside program")
+
+    def reachable(self) -> set[int]:
+        """Block indices reachable from any entry (program or spawn)."""
+        seen: set[int] = set()
+        work = list(self.entry_blocks)
+        while work:
+            b = work.pop()
+            if b in seen:
+                continue
+            seen.add(b)
+            work.extend(self.succs.get(b, ()))
+        return seen
+
+    def unreachable_blocks(self) -> list[int]:
+        """Blocks no entry can reach, in program order."""
+        reach = self.reachable()
+        return [i for i in range(len(self.blocks)) if i not in reach]
+
+    def reachable_from(self, entry_block: int) -> set[int]:
+        """Blocks reachable from one specific entry block."""
+        seen: set[int] = set()
+        work = [entry_block]
+        while work:
+            b = work.pop()
+            if b in seen:
+                continue
+            seen.add(b)
+            work.extend(self.succs.get(b, ()))
+        return seen
+
+
+def build_cfg(program: Program) -> CFG:
+    """Construct the CFG for an assembled program."""
+    blocks = basic_blocks(program)
+    cfg = CFG(program=program, blocks=blocks)
+    by_start = {b.start: i for i, b in enumerate(blocks)}
+
+    def block_at(pc: int) -> int | None:
+        """Block index whose leader is ``pc`` (targets are leaders)."""
+        return by_start.get(pc)
+
+    n = len(program.instructions)
+    for i, block in enumerate(blocks):
+        cfg.succs[i] = []
+        last = program.instructions[block.end - 1]
+        spec = last.spec
+        targets: list[int] = []
+        falls_through = True
+        if spec.is_branch:
+            targets.append(block.end - 1 + 1 + last.imm)
+        elif spec.is_jump:
+            if spec.mnemonic in ("j", "jal"):
+                targets.append(last.target)
+                # jal returns: keep the fall-through edge for the code
+                # after the call site.  Plain j never falls through.
+                falls_through = spec.mnemonic == "jal"
+            else:                       # jr: indirect, no static target
+                falls_through = False
+                cfg.has_indirect = True
+        elif spec.is_halt or spec.mnemonic == "texit":
+            falls_through = False
+        if falls_through and block.end < n:
+            targets.append(block.end)
+        for t in targets:
+            succ = block_at(t)
+            if succ is not None and succ not in cfg.succs[i]:
+                cfg.succs[i].append(succ)
+
+        if spec.mnemonic == "tspawn" and 0 <= last.imm < n:
+            entry = block_at(last.imm)
+            if entry is not None and entry not in cfg.spawn_entries:
+                cfg.spawn_entries.append(entry)
+
+    for i, succ_list in cfg.succs.items():
+        for s in succ_list:
+            cfg.preds.setdefault(s, []).append(i)
+    for i in range(len(blocks)):
+        cfg.preds.setdefault(i, [])
+
+    if blocks:
+        entry = by_start.get(program.entry, 0)
+        cfg.entry_blocks = [entry] + [
+            b for b in cfg.spawn_entries if b != entry]
+    return cfg

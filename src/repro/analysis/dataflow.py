@@ -1,0 +1,218 @@
+"""Register dataflow: reaching definitions, liveness, def-use chains.
+
+Operates across all three architectural register files — scalar ``s``,
+parallel ``p``, flag ``f`` — and treats execution masks as the true data
+dependences they are (``instr.src_regs()`` already includes the mask
+flag of masked instructions).
+
+Two machine-specific refinements over the textbook analyses:
+
+* **Partial definitions.**  A masked write to a parallel or flag
+  register (``mf != f0``) only updates the responders; PEs outside the
+  mask keep the old value.  Such writes *generate* a definition but do
+  not *kill* previous ones.
+* **Thread-fresh entries.**  Every register reads as zero at thread
+  start, modeled as a synthetic :data:`INIT_DEF` definition injected at
+  every CFG entry (the program entry and each ``tspawn`` target).  A
+  read reached by :data:`INIT_DEF` is a read-before-write on some path.
+  Registers delivered by inter-thread communication (``tput``'s target
+  register index) are recorded in :attr:`DataflowResult.tput_regs` so
+  the uninitialized-read lint can exempt them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cfg import CFG
+from repro.asm.program import Program
+from repro.isa import registers
+
+# Synthetic definition site: the zero-initialized thread context.
+INIT_DEF = -1
+
+Reg = tuple[str, int]
+
+
+@dataclass(frozen=True)
+class Definition:
+    """One definition site of one register."""
+
+    pc: int               # instruction address, or INIT_DEF
+    reg: Reg
+    killing: bool = True  # unmasked (full) writes kill previous defs
+
+
+@dataclass
+class DataflowResult:
+    """Everything the lint passes and hazard reports consume."""
+
+    cfg: CFG
+    # Reaching definitions at each *use*: (pc, reg) -> def pcs (INIT_DEF
+    # marks the zero-initialized context reaching this read).
+    reaching: dict[tuple[int, Reg], frozenset[int]] = field(
+        default_factory=dict)
+    # Def-use chains: def pc -> list of (use pc, reg).
+    uses_of_def: dict[int, list[tuple[int, Reg]]] = field(
+        default_factory=dict)
+    # Live-out register sets per block index.
+    live_out: dict[int, frozenset[Reg]] = field(default_factory=dict)
+    live_in: dict[int, frozenset[Reg]] = field(default_factory=dict)
+    # Scalar registers written cross-thread by tput anywhere in the
+    # program (the regidx immediate names the target-thread register).
+    tput_regs: frozenset[int] = frozenset()
+
+    def reaching_defs(self, pc: int, reg: Reg) -> frozenset[int]:
+        return self.reaching.get((pc, reg), frozenset())
+
+    def may_read_uninitialized(self, pc: int, reg: Reg) -> bool:
+        return INIT_DEF in self.reaching_defs(pc, reg)
+
+
+def is_killing_write(instr) -> bool:
+    """Whether the instruction's destination write is a full (killing)
+    definition.  Masked parallel/flag writes are partial: PEs outside
+    the mask keep their old value."""
+    dest = instr.dest_reg()
+    if dest is None:
+        return False
+    regfile, _ = dest
+    if regfile in ("p", "f") and instr.spec.masked \
+            and instr.mf != registers.ALWAYS_FLAG:
+        return False
+    return True
+
+
+def _block_transfer(program: Program, block) -> tuple[
+        dict[Reg, frozenset[int]], set[Reg]]:
+    """(gen, kill) summary of one basic block for reaching defs.
+
+    ``gen[reg]`` is the set of def pcs still live at block exit;
+    ``kill`` is the set of registers fully redefined in the block.
+    """
+    gen: dict[Reg, frozenset[int]] = {}
+    kill: set[Reg] = set()
+    for pc in block.range:
+        instr = program.instructions[pc]
+        dest = instr.dest_reg()
+        if dest is None:
+            continue
+        if is_killing_write(instr):
+            gen[dest] = frozenset((pc,))
+            kill.add(dest)
+        else:
+            gen[dest] = gen.get(dest, frozenset()) | frozenset((pc,))
+    return gen, kill
+
+
+def _init_state() -> dict[Reg, frozenset[int]]:
+    """Thread-entry state: every register defined by INIT_DEF."""
+    state: dict[Reg, frozenset[int]] = {}
+    for rf, size in registers.REGFILE_SIZES.items():
+        for idx in range(size):
+            state[(rf, idx)] = frozenset((INIT_DEF,))
+    return state
+
+
+def _merge(into: dict[Reg, frozenset[int]],
+           other: dict[Reg, frozenset[int]]) -> bool:
+    changed = False
+    for reg, defs in other.items():
+        cur = into.get(reg, frozenset())
+        merged = cur | defs
+        if merged != cur:
+            into[reg] = merged
+            changed = True
+    return changed
+
+
+def analyze_dataflow(cfg: CFG) -> DataflowResult:
+    """Run reaching definitions + liveness over the whole program."""
+    program = cfg.program
+    result = DataflowResult(cfg=cfg)
+    result.tput_regs = frozenset(
+        instr.imm for instr in program.instructions
+        if instr.mnemonic == "tput")
+    if not cfg.blocks:
+        return result
+
+    # -- reaching definitions (forward, may) --------------------------------
+    n_blocks = len(cfg.blocks)
+    transfer = [_block_transfer(program, b) for b in cfg.blocks]
+    in_state: list[dict[Reg, frozenset[int]]] = [{} for _ in range(n_blocks)]
+    for entry in cfg.entry_blocks:
+        _merge(in_state[entry], _init_state())
+
+    work = list(range(n_blocks))
+    while work:
+        b = work.pop(0)
+        gen, kill = transfer[b]
+        out: dict[Reg, frozenset[int]] = {}
+        for reg, defs in in_state[b].items():
+            if reg not in kill:
+                out[reg] = defs
+        _merge(out, gen)
+        for succ in cfg.succs.get(b, ()):
+            if _merge(in_state[succ], out) and succ not in work:
+                work.append(succ)
+
+    # -- per-use reaching defs + def-use chains ------------------------------
+    for bi, block in enumerate(cfg.blocks):
+        state = {reg: set(defs) for reg, defs in in_state[bi].items()}
+        for pc in block.range:
+            instr = program.instructions[pc]
+            for reg in instr.src_regs():
+                defs = frozenset(state.get(reg, ()))
+                result.reaching[(pc, reg)] = defs
+                for d in defs:
+                    if d != INIT_DEF:
+                        result.uses_of_def.setdefault(d, []).append(
+                            (pc, reg))
+            dest = instr.dest_reg()
+            if dest is not None:
+                # Record the defs reaching the destination *before* the
+                # write: a masked (partial) write merges with these, so
+                # checks like mask-scope need them even though the
+                # register is not in src_regs().
+                result.reaching.setdefault(
+                    (pc, dest), frozenset(state.get(dest, ())))
+                if is_killing_write(instr):
+                    state[dest] = {pc}
+                else:
+                    state.setdefault(dest, set()).add(pc)
+
+    # -- liveness (backward, may) --------------------------------------------
+    use_sets: list[set[Reg]] = []
+    def_sets: list[set[Reg]] = []
+    for block in cfg.blocks:
+        used: set[Reg] = set()
+        defined: set[Reg] = set()
+        for pc in block.range:
+            instr = program.instructions[pc]
+            for reg in instr.src_regs():
+                if reg not in defined:
+                    used.add(reg)
+            dest = instr.dest_reg()
+            if dest is not None and is_killing_write(instr):
+                defined.add(dest)
+        use_sets.append(used)
+        def_sets.append(defined)
+
+    live_in: list[frozenset[Reg]] = [frozenset() for _ in range(n_blocks)]
+    live_out: list[frozenset[Reg]] = [frozenset() for _ in range(n_blocks)]
+    changed = True
+    while changed:
+        changed = False
+        for b in reversed(range(n_blocks)):
+            out: set[Reg] = set()
+            for succ in cfg.succs.get(b, ()):
+                out |= live_in[succ]
+            new_in = frozenset(use_sets[b] | (out - def_sets[b]))
+            new_out = frozenset(out)
+            if new_in != live_in[b] or new_out != live_out[b]:
+                live_in[b] = new_in
+                live_out[b] = new_out
+                changed = True
+    result.live_in = {i: live_in[i] for i in range(n_blocks)}
+    result.live_out = {i: live_out[i] for i in range(n_blocks)}
+    return result

@@ -1,0 +1,153 @@
+"""Per-block dependence graph, shared by the scheduler and the linter.
+
+One pass over a basic block's instructions produces every ordering
+constraint the machine enforces:
+
+* **RAW** over all three register files (execution masks included),
+  weighted by :func:`repro.core.timing.raw_issue_gap` — the same
+  formula the cycle-accurate scoreboard applies — and labeled with the
+  paper's Figure-2 hazard class;
+* **WAR** and **WAW** (latency 1: issue order suffices, the register
+  files are written in stage order);
+* conservative **memory** ordering per address space (control-unit
+  scalar memory vs PE local memory);
+* **barrier** edges pinning thread-management ops, ``halt``, and
+  control transfers.
+
+:func:`repro.opt.scheduler.build_dag` consumes this graph to schedule;
+:func:`repro.analysis.hazards.hazard_edges` consumes the RAW subset to
+explain and price the hazards the schedule cannot hide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import timing
+from repro.core.config import ProcessorConfig
+from repro.isa.instruction import Instruction
+from repro.opt.blocks import is_barrier, is_control
+
+# Edge kinds.
+RAW = "raw"
+WAR = "war"
+WAW = "waw"
+MEM = "mem"
+BARRIER = "barrier"
+
+
+@dataclass(frozen=True)
+class DepEdge:
+    """One ordering constraint between two instructions of a block.
+
+    ``src``/``dst`` are block-relative instruction indices; ``latency``
+    is the minimum issue-cycle gap the edge imposes (>= 1).  For RAW
+    edges ``reg`` names the carried register and ``hazard`` its
+    Figure-2 class (one of the ``repro.core.stats.STALL_*`` labels).
+    """
+
+    src: int
+    dst: int
+    kind: str
+    latency: int = 1
+    reg: tuple[str, int] | None = None
+    hazard: str | None = None
+
+    @property
+    def stall_potential(self) -> int:
+        """Stall cycles if ``dst`` issues back-to-back after ``src``."""
+        return self.latency - 1
+
+
+@dataclass
+class BlockDeps:
+    """All dependence edges of one basic block."""
+
+    instrs: list[Instruction]
+    edges: list[DepEdge] = field(default_factory=list)
+
+    def raw_edges(self) -> list[DepEdge]:
+        return [e for e in self.edges if e.kind == RAW]
+
+    def successor_latencies(self) -> list[dict[int, int]]:
+        """Per-node successor map keeping the max latency per pair —
+        the reduced form list scheduling consumes."""
+        succs: list[dict[int, int]] = [{} for _ in self.instrs]
+        for e in self.edges:
+            prev = succs[e.src].get(e.dst)
+            if prev is None or e.latency > prev:
+                succs[e.src][e.dst] = e.latency
+        return succs
+
+
+def _mem_space(instr: Instruction) -> str | None:
+    spec = instr.spec
+    if not (spec.is_load or spec.is_store):
+        return None
+    return "scalar" if spec.exec_class.value == "scalar" else "lmem"
+
+
+def build_block_deps(instrs: list[Instruction],
+                     cfg: ProcessorConfig) -> BlockDeps:
+    """Build the dependence graph of one basic block's instructions."""
+    deps = BlockDeps(instrs=list(instrs))
+    last_writer: dict[tuple[str, int], int] = {}
+    readers: dict[tuple[str, int], list[int]] = {}
+    last_store: dict[str, int] = {}
+    loads_since_store: dict[str, list[int]] = {"scalar": [], "lmem": []}
+    last_barrier: int | None = None
+    add = deps.edges.append
+
+    for i, instr in enumerate(instrs):
+        spec = instr.spec
+        # Barriers and control transfers order against everything
+        # before them; everything after a barrier orders against it.
+        if is_barrier(instr) or is_control(instr):
+            for prev in range(i):
+                add(DepEdge(prev, i, BARRIER))
+        if last_barrier is not None:
+            add(DepEdge(last_barrier, i, BARRIER))
+        if is_barrier(instr):
+            last_barrier = i
+
+        # RAW: every source depends on the register's last writer.
+        for reg in instr.src_regs():
+            writer = last_writer.get(reg)
+            if writer is not None:
+                producer = instrs[writer]
+                add(DepEdge(
+                    writer, i, RAW,
+                    latency=timing.raw_issue_gap(producer.spec, reg[0], cfg),
+                    reg=reg,
+                    hazard=timing.classify_raw(producer.spec, spec)))
+            readers.setdefault(reg, []).append(i)
+
+        # WAR + WAW for the destination.
+        dest = instr.dest_reg()
+        if dest is not None:
+            for reader in readers.get(dest, []):
+                if reader != i:
+                    add(DepEdge(reader, i, WAR, reg=dest))
+            writer = last_writer.get(dest)
+            if writer is not None:
+                add(DepEdge(writer, i, WAW, reg=dest))
+            last_writer[dest] = i
+            readers[dest] = []
+
+        # Memory ordering (conservative, per address space).
+        space = _mem_space(instr)
+        if space is not None:
+            if spec.is_store:
+                prev_store = last_store.get(space)
+                if prev_store is not None:
+                    add(DepEdge(prev_store, i, MEM))
+                for load in loads_since_store[space]:
+                    add(DepEdge(load, i, MEM))
+                last_store[space] = i
+                loads_since_store[space] = []
+            else:
+                prev_store = last_store.get(space)
+                if prev_store is not None:
+                    add(DepEdge(prev_store, i, MEM))
+                loads_since_store[space].append(i)
+    return deps

@@ -1,0 +1,412 @@
+"""The ``repro lint`` pass manager and its checks.
+
+Each check is a function ``(AnalysisContext) -> list[Diagnostic]``
+registered in :data:`ALL_CHECKS`.  Checks are purely static — they
+consume the CFG, the dataflow result, and the machine configuration,
+never an execution.  Diagnostics carry full source provenance via the
+assembler's ``source_map``.
+
+Checks
+------
+``uninitialized-read``
+    A register (or execution-mask flag) is read on some path before any
+    instruction writes it.  All registers reset to zero at thread
+    start, so this is legal — but almost always a latent bug, and for
+    mask flags it silently deactivates every PE.  Registers delivered
+    by ``tput`` inter-thread communication are exempt.
+``unreachable-code``
+    A basic block no entry (program start or ``tspawn`` target) can
+    reach.  ``jal`` is treated as a call (its fall-through stays
+    reachable); ``jr`` has no static successors.
+``mask-scope``
+    A *masked* write to a flag register whose prior value was not
+    unconditionally cleared (``fclr``) or set (``fset``): PEs outside
+    the mask keep stale responder bits, the classic associative-code
+    bug (the paper's search idiom is fclr -> masked compare -> reduce).
+``thread-context``
+    A thread handle produced by ``tspawn`` is used with ``tput`` /
+    ``tget`` / ``tjoin`` after a ``tjoin`` on the same handle already
+    released the context.
+``scalar-mem-race``
+    Two threads access the same statically-known scalar-memory word,
+    at least one writing, with no ``tjoin`` ordering the parent-side
+    access after the child.  Addresses are resolved only when the base
+    register's value is a compile-time constant; unknown addresses are
+    never reported (the check under-approximates rather than cry wolf).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cfg import CFG, build_cfg
+from repro.analysis.dataflow import (
+    INIT_DEF,
+    DataflowResult,
+    analyze_dataflow,
+)
+from repro.analysis.hazards import (
+    StallEstimate,
+    estimate_stalls,
+    hazard_edges,
+)
+from repro.asm.program import Program
+from repro.core.config import ProcessorConfig
+from repro.isa import registers
+
+SEVERITIES = ("error", "warning", "info")
+
+
+@dataclass
+class Diagnostic:
+    """One lint finding, with source provenance."""
+
+    check: str
+    severity: str
+    pc: int
+    message: str
+    lineno: int | None = None
+    source: str | None = None
+
+    def format(self, filename: str = "<program>") -> str:
+        loc = (f"{filename}:{self.lineno}" if self.lineno is not None
+               else f"{filename}:pc={self.pc}")
+        out = f"{loc}: {self.severity}[{self.check}]: {self.message}"
+        if self.source:
+            out += f"\n    {self.source.strip()}"
+        return out
+
+    def to_json(self) -> dict:
+        return {
+            "check": self.check,
+            "severity": self.severity,
+            "pc": self.pc,
+            "lineno": self.lineno,
+            "source": self.source.strip() if self.source else None,
+            "message": self.message,
+        }
+
+
+@dataclass
+class AnalysisContext:
+    """Shared analysis state handed to every check."""
+
+    program: Program
+    config: ProcessorConfig
+    cfg: CFG = field(init=False)
+    dataflow: DataflowResult = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.cfg = build_cfg(self.program)
+        self.dataflow = analyze_dataflow(self.cfg)
+
+    def diag(self, check: str, severity: str, pc: int,
+             message: str) -> Diagnostic:
+        src = self.program.source_map.get(pc)
+        return Diagnostic(check, severity, pc, message,
+                          lineno=src.lineno if src else None,
+                          source=src.text if src else None)
+
+
+@dataclass
+class LintReport:
+    """Diagnostics plus the hazard/stall analysis for one program."""
+
+    diagnostics: list[Diagnostic]
+    estimate: StallEstimate
+    hazards: list
+
+    @property
+    def findings(self) -> list[Diagnostic]:
+        """Diagnostics that count as failures under ``--strict``."""
+        return [d for d in self.diagnostics
+                if d.severity in ("error", "warning")]
+
+
+# ---------------------------------------------------------------------------
+# Checks
+# ---------------------------------------------------------------------------
+
+_HARDWIRED = {("s", registers.ZERO_REG), ("p", registers.ZERO_REG),
+              ("f", registers.ALWAYS_FLAG)}
+
+
+def check_uninitialized_read(ctx: AnalysisContext) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    df = ctx.dataflow
+    program = ctx.program
+    reach = ctx.cfg.reachable()
+    for bi in sorted(reach):
+        block = ctx.cfg.blocks[bi]
+        for pc in block.range:
+            instr = program.instructions[pc]
+            for reg in instr.src_regs():
+                if reg in _HARDWIRED:
+                    continue
+                if reg[0] == "s" and reg[1] in df.tput_regs:
+                    continue      # delivered by inter-thread tput
+                defs = df.reaching_defs(pc, reg)
+                if INIT_DEF not in defs:
+                    continue
+                name = registers.REGFILE_NAMERS[reg[0]](reg[1])
+                if reg[0] == "f" and instr.spec.masked \
+                        and reg == ("f", instr.mf):
+                    msg = (f"execution mask {name} may be read before "
+                           f"any write; unset mask bits deactivate "
+                           f"their PEs")
+                else:
+                    only = "" if len(defs) > 1 else "every path"
+                    msg = (f"{name} may be read before any write "
+                           f"({'on some path' if only == '' else only}"
+                           f"; registers reset to zero at thread start)")
+                out.append(ctx.diag("uninitialized-read", "warning", pc,
+                                    msg))
+    return out
+
+
+def check_unreachable_code(ctx: AnalysisContext) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    for bi in ctx.cfg.unreachable_blocks():
+        block = ctx.cfg.blocks[bi]
+        out.append(ctx.diag(
+            "unreachable-code", "warning", block.start,
+            f"unreachable code: no entry or spawn target reaches "
+            f"pc {block.start}..{block.end - 1}"))
+    return out
+
+
+_CLEARING = ("fclr", "fset")
+
+
+def check_mask_scope(ctx: AnalysisContext) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    df = ctx.dataflow
+    program = ctx.program
+    for bi in sorted(ctx.cfg.reachable()):
+        for pc in ctx.cfg.blocks[bi].range:
+            instr = program.instructions[pc]
+            dest = instr.dest_reg()
+            if dest is None or dest[0] != "f":
+                continue
+            if not instr.spec.masked or instr.mf == registers.ALWAYS_FLAG:
+                continue          # unmasked writes update every PE
+            # The write is partial.  Find what the untouched PEs keep:
+            # any reaching def that is not an unconditional clear/set
+            # leaves stale responder bits behind.
+            stale = []
+            for d in df.reaching_defs(pc, dest):
+                if d == INIT_DEF:
+                    continue      # zero-initialized == cleared
+                producer = program.instructions[d]
+                if producer.mnemonic in _CLEARING \
+                        and producer.dest_reg() == dest:
+                    continue
+                stale.append(d)
+            if not stale:
+                continue
+            name = registers.flag_reg_name(dest[1])
+            mask = registers.flag_reg_name(instr.mf)
+            where = ", ".join(
+                program.location_of(d) for d in sorted(stale)[:3])
+            out.append(ctx.diag(
+                "mask-scope", "warning", pc,
+                f"masked write to {name} under [{mask}] merges with "
+                f"stale values from {where}; PEs outside the mask keep "
+                f"their old {name} — insert 'fclr {name}' if "
+                f"unintended"))
+    return out
+
+
+def check_thread_context(ctx: AnalysisContext) -> list[Diagnostic]:
+    """Use of a thread handle after ``tjoin`` released the context.
+
+    Forward dataflow over scalar registers with the tiny lattice
+    unknown < handle(pc) < released(pc); merges of unequal states fall
+    to unknown so the check cannot false-positive.
+    """
+    out: list[Diagnostic] = []
+    program = ctx.program
+    cfg = ctx.cfg
+    n_blocks = len(cfg.blocks)
+    # Block-entry states: sreg index -> ("handle" | "released", def pc).
+    in_state: list[dict[int, tuple[str, int]] | None] = \
+        [None] * n_blocks
+    for entry in cfg.entry_blocks:
+        in_state[entry] = {}
+
+    def transfer(state: dict[int, tuple[str, int]], pc: int,
+                 report: bool) -> None:
+        instr = program.instructions[pc]
+        spec = instr.spec
+        if spec.mnemonic in ("tput", "tget", "tjoin"):
+            # tput carries the handle in rd (rs is the value sent);
+            # tget and tjoin carry it in rs.
+            handle_reg = instr.rd if spec.mnemonic == "tput" else instr.rs
+            tag = state.get(handle_reg)
+            if report and tag is not None and tag[0] == "released":
+                name = registers.scalar_reg_name(handle_reg)
+                out.append(ctx.diag(
+                    "thread-context", "error", pc,
+                    f"{spec.mnemonic} uses thread handle {name} after "
+                    f"{program.location_of(tag[1])} joined and "
+                    f"released that context"))
+            if spec.mnemonic == "tjoin" and tag is not None \
+                    and tag[0] == "handle":
+                state[handle_reg] = ("released", pc)
+        dest = instr.dest_reg()
+        if dest is not None and dest[0] == "s":
+            if spec.mnemonic == "tspawn":
+                state[dest[1]] = ("handle", pc)
+            else:
+                state.pop(dest[1], None)
+
+    changed = True
+    while changed:
+        changed = False
+        for bi in range(n_blocks):
+            if in_state[bi] is None:
+                continue
+            state = dict(in_state[bi])
+            for pc in cfg.blocks[bi].range:
+                transfer(state, pc, report=False)
+            for succ in cfg.succs.get(bi, ()):
+                cur = in_state[succ]
+                if cur is None:
+                    in_state[succ] = dict(state)
+                    changed = True
+                    continue
+                for reg in list(cur):
+                    if state.get(reg) != cur[reg]:
+                        del cur[reg]        # conflicting facts: unknown
+                        changed = True
+
+    for bi in range(n_blocks):
+        if in_state[bi] is None:
+            continue
+        state = dict(in_state[bi])
+        for pc in cfg.blocks[bi].range:
+            transfer(state, pc, report=True)
+    return out
+
+
+def _const_value(program: Program, df: DataflowResult, pc: int,
+                 reg_idx: int) -> int | None:
+    """Compile-time value of scalar register ``reg_idx`` at ``pc``, if
+    its single reaching definition is a constant materialization."""
+    if reg_idx == registers.ZERO_REG:
+        return 0
+    defs = df.reaching_defs(pc, ("s", reg_idx))
+    if len(defs) != 1:
+        return None
+    (d,) = defs
+    if d == INIT_DEF:
+        return 0
+    producer = program.instructions[d]
+    if producer.mnemonic in ("ori", "addi") \
+            and producer.rs == registers.ZERO_REG:
+        return producer.imm
+    if producer.mnemonic == "lui":
+        return producer.imm << 16
+    return None
+
+
+def check_scalar_mem_race(ctx: AnalysisContext) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    program = ctx.program
+    cfg = ctx.cfg
+    df = ctx.dataflow
+    if not cfg.spawn_entries or not cfg.blocks:
+        return out
+    # Regions: pcs reachable from the program entry vs from each spawn.
+    main_entry = cfg.entry_blocks[0]
+    regions: list[tuple[str, set[int]]] = []
+    main_blocks = cfg.reachable_from(main_entry)
+    regions.append(("main", {pc for b in main_blocks
+                             for pc in cfg.blocks[b].range}))
+    for spawn in cfg.spawn_entries:
+        blocks = cfg.reachable_from(spawn)
+        name = f"thread@{cfg.blocks[spawn].start}"
+        regions.append((name, {pc for b in blocks
+                               for pc in cfg.blocks[b].range}))
+
+    # Statically-resolvable scalar-memory accesses per region.
+    def accesses(pcs: set[int]) -> list[tuple[int, int, bool]]:
+        acc = []
+        for pc in sorted(pcs):
+            instr = program.instructions[pc]
+            spec = instr.spec
+            if spec.exec_class.value != "scalar" \
+                    or not (spec.is_load or spec.is_store):
+                continue
+            base = _const_value(program, df, pc, instr.rs)
+            if base is None:
+                continue
+            acc.append((pc, base + instr.imm, spec.is_store))
+        return acc
+
+    region_accesses = [(name, pcs, accesses(pcs)) for name, pcs in regions]
+    main_pcs = regions[0][1]
+    join_pcs = sorted(pc for pc in main_pcs
+                      if program.instructions[pc].mnemonic == "tjoin")
+
+    reported: set[tuple[int, int]] = set()
+    for i, (name_a, pcs_a, acc_a) in enumerate(region_accesses):
+        for name_b, pcs_b, acc_b in region_accesses[i + 1:]:
+            for pc_a, addr_a, store_a in acc_a:
+                for pc_b, addr_b, store_b in acc_b:
+                    if addr_a != addr_b or not (store_a or store_b):
+                        continue
+                    if pc_a == pc_b:
+                        continue      # shared code, same access
+                    # Parent-side accesses after a tjoin are ordered.
+                    parent_pc = pc_a if name_a == "main" else (
+                        pc_b if name_b == "main" else None)
+                    if parent_pc is not None and any(
+                            j < parent_pc for j in join_pcs):
+                        continue
+                    key = (min(pc_a, pc_b), max(pc_a, pc_b))
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    kind = "store" if store_a and store_b else \
+                        "store/load"
+                    out.append(ctx.diag(
+                        "scalar-mem-race", "warning", max(pc_a, pc_b),
+                        f"unsynchronized {kind} race on scalar memory "
+                        f"word {addr_a}: {name_a} at "
+                        f"{program.location_of(pc_a)} vs {name_b} at "
+                        f"{program.location_of(pc_b)} (no tjoin orders "
+                        f"them)"))
+    return out
+
+
+ALL_CHECKS = {
+    "uninitialized-read": check_uninitialized_read,
+    "unreachable-code": check_unreachable_code,
+    "mask-scope": check_mask_scope,
+    "thread-context": check_thread_context,
+    "scalar-mem-race": check_scalar_mem_race,
+}
+
+
+def lint_program(program: Program, config: ProcessorConfig | None = None,
+                 checks: list[str] | None = None) -> LintReport:
+    """Run the lint pipeline; returns diagnostics + hazard analysis."""
+    cfg = config or ProcessorConfig()
+    ctx = AnalysisContext(program, cfg)
+    names = list(ALL_CHECKS) if checks is None else checks
+    diagnostics: list[Diagnostic] = []
+    for name in names:
+        try:
+            check = ALL_CHECKS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown lint check {name!r} (available: "
+                f"{', '.join(sorted(ALL_CHECKS))})") from None
+        diagnostics.extend(check(ctx))
+    diagnostics.sort(key=lambda d: (d.pc, d.check))
+    return LintReport(
+        diagnostics=diagnostics,
+        estimate=estimate_stalls(program, cfg),
+        hazards=hazard_edges(program, cfg),
+    )

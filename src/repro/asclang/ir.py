@@ -18,7 +18,7 @@ three value kinds mirror the machine's three register files:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 class AscLangError(ValueError):

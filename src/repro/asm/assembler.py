@@ -50,7 +50,7 @@ from dataclasses import dataclass, field
 from repro.asm.program import Program, SourceLine
 from repro.isa import registers
 from repro.isa.instruction import Instruction, IsaError
-from repro.isa.opcodes import OPCODES, Format, ImmKind
+from repro.isa.opcodes import OPCODES, ImmKind
 
 AT = registers.ASM_TEMP_REG
 
@@ -88,6 +88,7 @@ class _Item:
     address: int = 0          # text or data address depending on kind
     exprs: list[str] = field(default_factory=list)  # for .word
     count: int = 0            # for .space
+    expansion: int = 0        # index within a pseudo-op expansion
 
 
 class Assembler:
@@ -137,10 +138,11 @@ class Assembler:
                 raise AsmError("instructions only allowed in .text",
                                lineno, raw)
 
-            for mnemonic, operands, mask in self._parse_instr(line, raw, lineno):
+            expanded = self._parse_instr(line, raw, lineno)
+            for k, (mnemonic, operands, mask) in enumerate(expanded):
                 items.append(_Item(lineno, raw, "instr", mnemonic=mnemonic,
                                    operands=operands, mask=mask,
-                                   address=text_addr))
+                                   address=text_addr, expansion=k))
                 text_addr += 1
         return items, symbols
 
@@ -308,8 +310,13 @@ class Assembler:
                 assert item.address == len(program.instructions), (
                     "pass-1/pass-2 address mismatch")
                 program.source_map[item.address] = SourceLine(
-                    item.lineno, item.text)
+                    item.lineno, item.text, item.expansion)
                 program.instructions.append(instr)
+        # Invariant: every emitted instruction — pseudo-op expansions
+        # included — carries source provenance.
+        assert set(program.source_map) == set(
+            range(len(program.instructions))), \
+            "assembler source_map does not cover every instruction"
         return program
 
     def _build(self, item: _Item, symbols: dict[str, int]) -> Instruction:

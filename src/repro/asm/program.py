@@ -9,10 +9,17 @@ from repro.isa.instruction import Instruction
 
 @dataclass
 class SourceLine:
-    """Provenance of one assembled instruction."""
+    """Provenance of one assembled instruction.
+
+    ``expansion`` is the instruction's index within its source
+    statement's pseudo-op expansion: 0 for the first (or only) emitted
+    instruction, 1+ for the extra instructions a pseudo-op (``li``,
+    ``rnone``, ...) expands into.
+    """
 
     lineno: int
     text: str
+    expansion: int = 0
 
 
 @dataclass

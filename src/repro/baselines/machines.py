@@ -14,7 +14,6 @@ from __future__ import annotations
 from repro.core.config import (
     MTMode,
     MultiplierKind,
-    DividerKind,
     ProcessorConfig,
 )
 

@@ -25,7 +25,7 @@ cycle counts and clock effects can be reported separately (experiment E3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from repro.asm.program import Program
 from repro.assoc.functional import FunctionalMachine

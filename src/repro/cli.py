@@ -5,12 +5,14 @@ Commands
 ``asm``      assemble a .s file to a hex word listing
 ``disasm``   disassemble a hex word listing
 ``run``      run a program on the cycle-accurate simulator
+``lint``     static hazard/dataflow analysis of a program
 ``info``     machine configuration, resource usage, device fit
 ``isa``      print the instruction-set reference
 
 Examples::
 
     python -m repro run program.s --pes 64 --threads 16 --trace
+    python -m repro lint program.s --strict --json
     python -m repro info --pes 16 --width 8 --device EP2C35
     python -m repro asm kernel.s -o kernel.hex
 """
@@ -18,20 +20,19 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.asm.assembler import AsmError, assemble
-from repro.asm.disassembler import disassemble, format_instruction
+from repro.asm.disassembler import disassemble
 from repro.core.config import (
-    BranchPolicy,
     MTMode,
-    MultiplierKind,
     ProcessorConfig,
     SchedulerPolicy,
 )
 from repro.core.processor import Processor, SimulationError
 from repro.core.trace import render_trace
-from repro.isa.encoding import DecodeError, decode
+from repro.isa.encoding import DecodeError
 from repro.isa.opcodes import OPCODES
 from repro.util.tables import format_table
 
@@ -156,6 +157,112 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lint_one(name: str, program, cfg: ProcessorConfig,
+              args: argparse.Namespace) -> tuple[int, dict]:
+    """Lint one assembled program; returns (finding count, json payload)."""
+    from repro.analysis import lint_program
+
+    checks = args.checks.split(",") if args.checks else None
+    try:
+        report = lint_program(program, cfg, checks=checks)
+    except ValueError as exc:
+        raise SystemExit(f"lint: {exc}")
+    est = report.estimate
+
+    payload = {
+        "file": name,
+        "diagnostics": [d.to_json() for d in report.diagnostics],
+        "hazards": [
+            {"producer_pc": h.producer_pc, "consumer_pc": h.consumer_pc,
+             "reg": f"{h.regfile}{h.reg}", "hazard": h.hazard,
+             "min_gap": h.min_gap, "stall_cycles": h.stall_cycles}
+            for h in report.hazards],
+        "estimate": {
+            "exact": est.exact,
+            "total": est.total,
+            "by_cause": dict(est.by_cause),
+        },
+    }
+    if args.json:
+        return len(report.findings), payload
+
+    for d in report.diagnostics:
+        print(d.format(name))
+    interesting = [h for h in report.hazards
+                   if h.stall_potential > 0 or h.stall_cycles > 0]
+    if interesting and not args.quiet:
+        rows = []
+        for h in interesting:
+            rows.append((
+                program.location_of(h.producer_pc),
+                program.location_of(h.consumer_pc),
+                f"{h.regfile}{h.reg}", h.hazard, h.min_gap,
+                h.stall_cycles))
+        print(format_table(
+            ("producer", "consumer", "reg", "hazard class", "min gap",
+             "stalls"),
+            rows, title=f"{name}: dependences with stall potential"))
+    if not args.quiet:
+        print(f"{name}: {est.describe()}")
+        n = len(report.diagnostics)
+        print(f"{name}: {n} diagnostic(s)")
+    return len(report.findings), payload
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    cfg = _config_from_args(args)
+    targets: list[tuple[str, object, ProcessorConfig]] = []
+    if args.kernels:
+        import dataclasses
+
+        from repro.programs import kernels as K
+
+        for builder in K.ALL_KERNEL_BUILDERS.values():
+            kern = builder(cfg.num_pes)
+            kcfg = dataclasses.replace(cfg, word_width=kern.word_width)
+            try:
+                program = assemble(kern.source, word_width=kern.word_width)
+            except AsmError as exc:
+                print(f"assembly error in kernel {kern.name}: {exc}",
+                      file=sys.stderr)
+                return 1
+            targets.append((kern.name, program, kcfg))
+    if args.files:
+        for path in args.files:
+            try:
+                source = open(path).read()
+            except OSError as exc:
+                print(f"lint: cannot read {path}: {exc.strerror}",
+                      file=sys.stderr)
+                return 1
+            try:
+                program = assemble(source, word_width=cfg.word_width)
+            except AsmError as exc:
+                print(f"{path}: assembly error: {exc}", file=sys.stderr)
+                return 1
+            targets.append((path, program, cfg))
+    if not targets:
+        print("lint: no input (pass a .s file or --kernels)",
+              file=sys.stderr)
+        return 1
+
+    findings = 0
+    payloads = []
+    for name, program, tcfg in targets:
+        count, payload = _lint_one(name, program, tcfg, args)
+        findings += count
+        payloads.append(payload)
+    if args.json:
+        out = payloads[0] if len(payloads) == 1 else payloads
+        print(json.dumps(out, indent=2))
+    if args.strict and findings:
+        if not args.json:
+            print(f"lint: {findings} finding(s) (strict mode)",
+                  file=sys.stderr)
+        return 2
+    return 0
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     from repro.fpga.devices import device_by_name
     from repro.fpga.fitter import max_pes
@@ -230,6 +337,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--lmem", action="append", metavar="COL=V1,V2,...",
                        help="initialize a PE local-memory column")
     p_run.set_defaults(func=cmd_run)
+
+    p_lint = sub.add_parser(
+        "lint", help="static hazard/dataflow analysis")
+    p_lint.add_argument("files", nargs="*", metavar="file.s",
+                        help="assembly source file(s) to analyze")
+    _add_machine_args(p_lint)
+    p_lint.add_argument("--kernels", action="store_true",
+                        help="also lint every built-in benchmark kernel")
+    p_lint.add_argument("--checks", default=None, metavar="a,b,...",
+                        help="comma-separated subset of lint checks")
+    p_lint.add_argument("--json", action="store_true",
+                        help="emit a machine-readable JSON report")
+    p_lint.add_argument("--strict", action="store_true",
+                        help="exit nonzero when any warning/error is found")
+    p_lint.add_argument("--quiet", action="store_true",
+                        help="diagnostics only; no hazard/stall summary")
+    p_lint.set_defaults(func=cmd_lint)
 
     p_info = sub.add_parser("info", help="machine/resource summary")
     _add_machine_args(p_info)

@@ -9,7 +9,7 @@ suite (see DESIGN.md experiment index).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.network.tree import broadcast_latency, reduction_latency
 from repro.util.bitops import SUPPORTED_WIDTHS

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from repro.asm.assembler import assemble
 from repro.asm.disassembler import format_instruction
 from repro.core.config import ProcessorConfig
-from repro.core.processor import Processor, RunResult, SimulationError
+from repro.core.processor import Processor, RunResult
 from repro.core.thread import ThreadState
 
 

@@ -22,7 +22,6 @@ import numpy as np
 from repro.asm.program import Program
 from repro.core.config import (
     DividerKind,
-    MTMode,
     MultiplierKind,
     ProcessorConfig,
 )

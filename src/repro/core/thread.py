@@ -14,7 +14,7 @@ they are the paper's *instruction status table*.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.isa import registers
 from repro.isa.opcodes import OpSpec

@@ -120,6 +120,25 @@ def writeback_offset(spec: OpSpec, cfg: ProcessorConfig) -> int | None:
     return None if r is None else r + 1
 
 
+def raw_issue_gap(producer: OpSpec, regfile: str,
+                  cfg: ProcessorConfig) -> int:
+    """Minimum issue-cycle gap imposed by a RAW dependence (>= 1).
+
+    The single shared formula behind the core's scoreboard, the static
+    list scheduler, and the static hazard analyzer: the consumer may
+    issue once the producer's result cycle precedes the consumer's read
+    point for ``regfile`` ('s' reads at ``d + 2``, 'p'/'f' at the PE EX
+    stage).  A gap of 1 means back-to-back issue is stall-free; the
+    *stall potential* of the dependence is ``gap - 1``.
+    """
+    roff = result_offset(producer, cfg)
+    if roff is None:
+        return 1
+    read_off = (SCALAR_READ_OFFSET if regfile == "s"
+                else parallel_read_offset(cfg))
+    return max(1, roff + 1 - read_off)
+
+
 def control_resolve_offset(spec: OpSpec, cfg: ProcessorConfig,
                            taken: bool) -> int:
     """Earliest next same-thread issue offset after a control instruction.

@@ -17,7 +17,7 @@ from repro.asm.disassembler import format_instruction
 from repro.core.config import ProcessorConfig
 from repro.core.processor import IssueRecord
 from repro.core.timing import stage_schedule
-from repro.isa.opcodes import OPCODES, ExecClass
+from repro.isa.opcodes import OPCODES
 
 
 def pipeline_paths(cfg: ProcessorConfig) -> dict[str, list[str]]:

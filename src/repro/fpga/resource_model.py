@@ -32,7 +32,7 @@ RAM accounting per PE (the paper's Section 6.2 discussion):
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from repro.core.config import ProcessorConfig
 from repro.fpga.devices import M4K_BITS

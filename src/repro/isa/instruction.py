@@ -9,7 +9,7 @@ unpacks a word), and the pipeline (which reads its hazard roles).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.isa import registers
 from repro.isa.opcodes import OPCODES, ExecClass, Format, ImmKind, OpSpec

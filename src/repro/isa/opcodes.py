@@ -30,7 +30,7 @@ to 1, so the default mask is "all PEs active".
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 class ExecClass(enum.Enum):

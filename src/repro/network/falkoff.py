@@ -25,7 +25,6 @@ from repro.util.bitops import (
     mask_for_width,
     min_signed,
     max_signed,
-    np_to_signed,
     np_to_unsigned,
     to_unsigned,
 )

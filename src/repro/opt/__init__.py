@@ -6,6 +6,7 @@ from repro.opt.scheduler import (
     build_dag,
     raw_edge_latency,
     schedule_block,
+    schedule_block_order,
     schedule_program,
 )
 
@@ -18,5 +19,6 @@ __all__ = [
     "build_dag",
     "raw_edge_latency",
     "schedule_block",
+    "schedule_block_order",
     "schedule_program",
 ]

@@ -7,14 +7,15 @@ of reduction instructions depends on the number of PEs ... Furthermore,
 for a large machine, the latency could be much higher than the degree of
 instruction-level parallelism (ILP) in the code."
 
-The pass builds a dependence DAG per basic block (RAW/WAR/WAW over all
-three register files including execution masks, conservative memory
-ordering per address space) with RAW edges weighted by the *same*
-latency model the cycle-accurate core enforces, then list-schedules by
-critical-path priority.  Because the scheduler targets a specific
-:class:`ProcessorConfig`, its effectiveness is machine-dependent —
-exactly the compile-time-unknown-latency problem the paper points out,
-which experiment E10 quantifies.
+The dependence DAG per basic block (RAW/WAR/WAW over all three register
+files including execution masks, conservative memory ordering per
+address space) comes from the shared analysis machinery
+(:func:`repro.analysis.deps.build_block_deps`) with RAW edges weighted
+by the *same* latency model the cycle-accurate core enforces; the pass
+then list-schedules by critical-path priority.  Because the scheduler
+targets a specific :class:`ProcessorConfig`, its effectiveness is
+machine-dependent — exactly the compile-time-unknown-latency problem
+the paper points out, which experiment E10 quantifies.
 
 Semantics preservation: reordering respects every data/memory/control
 dependence, control transfers stay in final position, barriers (thread
@@ -32,7 +33,7 @@ from repro.asm.program import Program
 from repro.core import timing
 from repro.core.config import ProcessorConfig
 from repro.isa.instruction import Instruction
-from repro.opt.blocks import BasicBlock, basic_blocks, is_barrier, is_control
+from repro.opt.blocks import basic_blocks
 
 
 def raw_edge_latency(producer: Instruction, consumer: Instruction,
@@ -42,12 +43,7 @@ def raw_edge_latency(producer: Instruction, consumer: Instruction,
     Mirrors the core's scoreboard math: the consumer may issue once the
     producer's result cycle precedes the consumer's read point.
     """
-    roff = timing.result_offset(producer.spec, cfg)
-    if roff is None:
-        return 1
-    read_off = (timing.SCALAR_READ_OFFSET if regfile == "s"
-                else timing.parallel_read_offset(cfg))
-    return max(1, roff + 1 - read_off)
+    return timing.raw_issue_gap(producer.spec, regfile, cfg)
 
 
 @dataclass
@@ -68,71 +64,22 @@ class DepNode:
             self.succs[other.index] = latency
 
 
-def _mem_space(instr: Instruction) -> str | None:
-    spec = instr.spec
-    if not (spec.is_load or spec.is_store):
-        return None
-    return "scalar" if spec.exec_class.value == "scalar" else "lmem"
-
-
 def build_dag(instrs: list[Instruction], cfg: ProcessorConfig,
               ) -> list[DepNode]:
-    """Dependence DAG for one basic block's instructions."""
+    """Dependence DAG for one basic block's instructions.
+
+    The edges come from the shared per-block dependence analysis
+    (:func:`repro.analysis.deps.build_block_deps`), reduced to the
+    max-latency-per-pair successor form list scheduling consumes.
+    """
+    from repro.analysis.deps import build_block_deps
+
     nodes = [DepNode(i, ins) for i, ins in enumerate(instrs)]
-    last_writer: dict[tuple[str, int], DepNode] = {}
-    readers: dict[tuple[str, int], list[DepNode]] = {}
-    last_store: dict[str, DepNode] = {}
-    loads_since_store: dict[str, list[DepNode]] = {"scalar": [], "lmem": []}
-    last_barrier: DepNode | None = None
-
-    for node in nodes:
-        instr = node.instr
-        # Barriers order against everything before them.
-        if is_barrier(instr) or is_control(instr):
-            for prev in nodes[:node.index]:
-                prev.add_succ(node, 1)
-        if last_barrier is not None:
-            last_barrier.add_succ(node, 1)
-        if is_barrier(instr):
-            last_barrier = node
-
-        # RAW: sources depend on the last writer.
-        for regfile, idx in instr.src_regs():
-            writer = last_writer.get((regfile, idx))
-            if writer is not None:
-                writer.add_succ(node,
-                                raw_edge_latency(writer.instr, instr,
-                                                 regfile, cfg))
-            readers.setdefault((regfile, idx), []).append(node)
-
-        # WAR + WAW for the destination.
-        dest = instr.dest_reg()
-        if dest is not None:
-            for reader in readers.get(dest, []):
-                if reader is not node:
-                    reader.add_succ(node, 1)
-            writer = last_writer.get(dest)
-            if writer is not None:
-                writer.add_succ(node, 1)
-            last_writer[dest] = node
-            readers[dest] = []
-
-        # Memory ordering (conservative, per address space).
-        space = _mem_space(instr)
-        if space is not None:
-            if instr.spec.is_store:
-                prev_store = last_store.get(space)
-                if prev_store is not None:
-                    prev_store.add_succ(node, 1)
-                for load in loads_since_store[space]:
-                    load.add_succ(node, 1)
-                last_store[space] = node
-                loads_since_store[space] = []
-            else:
-                prev_store = last_store.get(space)
-                if prev_store is not None:
-                    prev_store.add_succ(node, 1)
-                loads_since_store[space].append(node)
+    succ_maps = build_block_deps(instrs, cfg).successor_latencies()
+    for src, succ_map in enumerate(succ_maps):
+        for dst, latency in succ_map.items():
+            nodes[src].succs[dst] = latency
+            nodes[dst].num_preds += 1
 
     # Critical-path priorities (reverse topological order = reverse
     # index order, since all edges go forward in a basic block).
@@ -143,11 +90,13 @@ def build_dag(instrs: list[Instruction], cfg: ProcessorConfig,
     return nodes
 
 
-def schedule_block(instrs: list[Instruction], cfg: ProcessorConfig,
-                   ) -> list[Instruction]:
-    """List-schedule one basic block; returns the new instruction order."""
+def schedule_block_order(instrs: list[Instruction], cfg: ProcessorConfig,
+                         ) -> list[int]:
+    """List-schedule one basic block; returns the permutation of
+    block-relative indices (``order[k]`` = original index of the
+    instruction scheduled into slot ``k``)."""
     if len(instrs) <= 1:
-        return list(instrs)
+        return list(range(len(instrs)))
     nodes = build_dag(instrs, cfg)
     earliest = [0] * len(nodes)
     preds_left = [n.num_preds for n in nodes]
@@ -160,7 +109,7 @@ def schedule_block(instrs: list[Instruction], cfg: ProcessorConfig,
         if preds_left[node.index] == 0:
             heapq.heappush(ready, (-node.priority, node.index))
 
-    order: list[Instruction] = []
+    order: list[int] = []
     clock = 0
     while ready or pending:
         while pending and pending[0][0] <= clock:
@@ -171,7 +120,7 @@ def schedule_block(instrs: list[Instruction], cfg: ProcessorConfig,
             continue
         _, idx = heapq.heappop(ready)
         node = nodes[idx]
-        order.append(node.instr)
+        order.append(idx)
         issue = clock
         clock += 1
         for succ, lat in node.succs.items():
@@ -188,6 +137,12 @@ def schedule_block(instrs: list[Instruction], cfg: ProcessorConfig,
     return order
 
 
+def schedule_block(instrs: list[Instruction], cfg: ProcessorConfig,
+                   ) -> list[Instruction]:
+    """List-schedule one basic block; returns the new instruction order."""
+    return [instrs[i] for i in schedule_block_order(instrs, cfg)]
+
+
 class ListScheduler:
     """Whole-program static scheduler targeting one machine config."""
 
@@ -195,26 +150,32 @@ class ListScheduler:
         self.cfg = cfg
 
     def run(self, program: Program) -> Program:
-        """Return a new, semantically equivalent, scheduled Program."""
+        """Return a new, semantically equivalent, scheduled Program.
+
+        The source map is transferred exactly: each block's scheduled
+        permutation maps every output slot back to the input pc whose
+        provenance it inherits (pseudo-op expansions included).
+        """
         new_instrs: list[Instruction] = list(program.instructions)
+        new_source_map = dict(program.source_map)
         for block in basic_blocks(program):
             block_in = program.instructions[block.start:block.end]
-            block_out = self.schedule_block_instrs(block_in)
-            new_instrs[block.start:block.end] = block_out
-        scheduled = Program(
+            perm = schedule_block_order(block_in, self.cfg)
+            new_instrs[block.start:block.end] = \
+                [block_in[i] for i in perm]
+            for slot, orig in enumerate(perm):
+                src = program.source_map.get(block.start + orig)
+                if src is not None:
+                    new_source_map[block.start + slot] = src
+                else:
+                    new_source_map.pop(block.start + slot, None)
+        return Program(
             instructions=new_instrs,
             data=list(program.data),
             symbols=dict(program.symbols),
+            source_map=new_source_map,
             entry=program.entry,
         )
-        # Source map: best effort — map by identity of Instruction objects.
-        by_id = {id(ins): src for pc, ins in enumerate(program.instructions)
-                 for src in [program.source_map.get(pc)] if src is not None}
-        for pc, ins in enumerate(new_instrs):
-            src = by_id.get(id(ins))
-            if src is not None:
-                scheduled.source_map[pc] = src
-        return scheduled
 
     def schedule_block_instrs(self, instrs: list[Instruction],
                               ) -> list[Instruction]:

@@ -17,7 +17,7 @@ on a validity column, not by special-casing.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable
 
 import numpy as np
 

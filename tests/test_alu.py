@@ -1,7 +1,6 @@
 """PE ALU semantics: vectorized ops vs. scalar reference (property-based)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.pe import alu

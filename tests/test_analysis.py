@@ -1,0 +1,556 @@
+"""Static analysis tests: CFG, dataflow, hazards, lint, differential.
+
+The headline property (ISSUE acceptance criterion): on straight-line
+kernels the static stall estimate matches the cycle-accurate
+simulator's wait-cycle counters *exactly*, per cause, across machine
+configurations.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    ALL_CHECKS,
+    INIT_DEF,
+    analyze_dataflow,
+    build_block_deps,
+    build_cfg,
+    estimate_stalls,
+    hazard_edges,
+    is_straight_line,
+    lint_program,
+)
+from repro.asm import assemble
+from repro.cli import main as cli_main
+from repro.core import MTMode, ProcessorConfig
+from repro.core import stats as st
+from repro.core.config import MultiplierKind
+from repro.programs import ALL_KERNEL_BUILDERS, run_kernel
+
+
+def cfg_1t(pes=64, **kw):
+    return ProcessorConfig(num_pes=pes, num_threads=1,
+                           mt_mode=MTMode.SINGLE, word_width=16, **kw)
+
+
+DIFF_CONFIGS = [
+    cfg_1t(pes=32, broadcast_arity=2),
+    cfg_1t(pes=256, broadcast_arity=4),
+    cfg_1t(pes=64, broadcast_arity=2, pipelined_reduction=False),
+]
+
+
+# ---------------------------------------------------------------------------
+# CFG
+# ---------------------------------------------------------------------------
+
+class TestCFG:
+    def test_branch_successors(self):
+        prog = assemble("""
+.text
+    addi s1, s1, 1
+top:
+    addi s2, s2, 1
+    bne s1, s2, top
+    halt
+""")
+        cfg = build_cfg(prog)
+        top = cfg.block_of(1)
+        branch_block = cfg.block_of(2)
+        after = cfg.block_of(3)
+        assert set(cfg.succs[branch_block]) == {top, after}
+
+    def test_jal_keeps_fallthrough(self):
+        prog = assemble("""
+.text
+    jal fn
+    addi s1, s1, 1
+    halt
+fn: jr ra
+""")
+        cfg = build_cfg(prog)
+        call = cfg.block_of(0)
+        ret_point = cfg.block_of(1)
+        fn = cfg.block_of(3)
+        assert set(cfg.succs[call]) == {ret_point, fn}
+        assert cfg.succs[fn] == []          # jr: indirect
+        assert cfg.has_indirect
+
+    def test_plain_jump_no_fallthrough(self):
+        prog = assemble("""
+.text
+    j skip
+    addi s1, s1, 1
+skip:
+    halt
+""")
+        cfg = build_cfg(prog)
+        dead = cfg.block_of(1)
+        assert dead in cfg.unreachable_blocks()
+
+    def test_spawn_target_is_entry_not_successor(self):
+        prog = assemble("""
+.text
+    tspawn s1, worker
+    halt
+worker:
+    texit
+""")
+        cfg = build_cfg(prog)
+        worker = cfg.block_of(2)
+        assert worker in cfg.spawn_entries
+        assert worker in cfg.entry_blocks
+        spawn_block = cfg.block_of(0)
+        assert worker not in cfg.succs[spawn_block]
+        assert cfg.unreachable_blocks() == []
+
+    def test_halt_terminates(self):
+        prog = assemble(".text\nhalt\naddi s1, s1, 1\n")
+        cfg = build_cfg(prog)
+        assert cfg.block_of(1) in cfg.unreachable_blocks()
+
+
+# ---------------------------------------------------------------------------
+# Dataflow
+# ---------------------------------------------------------------------------
+
+class TestDataflow:
+    def test_init_def_reaches_unwritten_read(self):
+        prog = assemble(".text\nadd s2, s1, s0\nhalt\n")
+        df = analyze_dataflow(build_cfg(prog))
+        assert df.may_read_uninitialized(0, ("s", 1))
+
+    def test_write_kills_init(self):
+        prog = assemble(".text\nori s1, s0, 5\nadd s2, s1, s0\nhalt\n")
+        df = analyze_dataflow(build_cfg(prog))
+        assert df.reaching_defs(1, ("s", 1)) == frozenset({0})
+
+    def test_masked_parallel_write_is_partial(self):
+        prog = assemble("""
+.text
+    pli p1, 1
+    pli p1, 2 [f1]
+    padd p2, p1, p1
+    halt
+""")
+        df = analyze_dataflow(build_cfg(prog))
+        # Both the unmasked and the masked write reach the read: PEs
+        # outside f1 still hold the value from pc 0.
+        assert df.reaching_defs(2, ("p", 1)) == frozenset({0, 1})
+
+    def test_branch_merges_defs(self):
+        prog = assemble("""
+.text
+    ori s1, s0, 1
+    beq s2, s0, skip
+    ori s1, s0, 2
+skip:
+    add s3, s1, s0
+    halt
+""")
+        df = analyze_dataflow(build_cfg(prog))
+        assert df.reaching_defs(3, ("s", 1)) == frozenset({0, 2})
+
+    def test_def_use_chains(self):
+        prog = assemble(".text\nori s1, s0, 5\nadd s2, s1, s1\nhalt\n")
+        df = analyze_dataflow(build_cfg(prog))
+        assert (1, ("s", 1)) in df.uses_of_def[0]
+
+    def test_mask_flag_is_a_use(self):
+        prog = assemble(".text\nfclr f1\npadd p1, p2, p3 [f1]\nhalt\n")
+        df = analyze_dataflow(build_cfg(prog))
+        assert df.reaching_defs(1, ("f", 1)) == frozenset({0})
+
+    def test_spawned_thread_gets_fresh_context(self):
+        prog = assemble("""
+.text
+    ori s1, s0, 7
+    tspawn s2, worker
+    halt
+worker:
+    add s3, s1, s0
+    texit
+""")
+        df = analyze_dataflow(build_cfg(prog))
+        # The parent's s1 write does NOT reach the spawned thread.
+        assert df.reaching_defs(3, ("s", 1)) == frozenset({INIT_DEF})
+
+    def test_liveness(self):
+        prog = assemble("""
+.text
+    ori s1, s0, 1
+top:
+    addi s1, s1, 1
+    bne s1, s2, top
+    halt
+""")
+        cfg = build_cfg(prog)
+        df = analyze_dataflow(cfg)
+        entry = cfg.block_of(0)
+        assert ("s", 1) in df.live_out[entry]
+
+
+# ---------------------------------------------------------------------------
+# Hazard classification and stall pricing
+# ---------------------------------------------------------------------------
+
+class TestHazards:
+    def test_broadcast_hazard_classified(self):
+        prog = assemble(".text\nori s1, s0, 3\npadds p1, p2, s1\nhalt\n")
+        cfg = cfg_1t()
+        edges = [e for e in hazard_edges(prog, cfg)
+                 if e.hazard == st.STALL_BROADCAST]
+        assert edges and edges[0].reg == 1 and edges[0].regfile == "s"
+
+    def test_reduction_hazard_priced_b_plus_r(self):
+        prog = assemble(".text\nrsum s1, p1\nadd s2, s1, s0\nhalt\n")
+        cfg = cfg_1t()
+        edges = [e for e in hazard_edges(prog, cfg)
+                 if e.hazard == st.STALL_REDUCTION]
+        assert len(edges) == 1
+        # Back-to-back reduction->scalar costs stalls that grow with
+        # the network depth (b + r cycles of latency).
+        bigger = [e for e in hazard_edges(prog, cfg_1t(pes=1024))
+                  if e.hazard == st.STALL_REDUCTION]
+        assert bigger[0].min_gap > edges[0].min_gap
+
+    def test_bcast_reduction_hazard(self):
+        prog = assemble(".text\nrsum s1, p1\npadds p2, p3, s1\nhalt\n")
+        edges = [e for e in hazard_edges(prog, cfg_1t())
+                 if e.hazard == st.STALL_BCAST_REDUCTION]
+        assert len(edges) == 1
+
+    def test_straight_line_detection(self):
+        assert is_straight_line(assemble(".text\nadd s1, s2, s3\nhalt\n"))
+        assert not is_straight_line(
+            assemble(".text\nbeq s1, s2, 0\nhalt\n"))
+        assert not is_straight_line(
+            assemble(".text\ntspawn s1, w\nw: halt\n"))
+
+    def test_estimate_marks_exactness(self):
+        assert estimate_stalls(
+            assemble(".text\nadd s1, s2, s3\nhalt\n"), cfg_1t()).exact
+        assert not estimate_stalls(
+            assemble(".text\nt: bne s1, s2, t\nhalt\n"), cfg_1t()).exact
+
+    def test_block_deps_feed_scheduler_shapes(self):
+        prog = assemble(".text\nori s1, s0, 1\nadd s2, s1, s0\nhalt\n")
+        deps = build_block_deps(list(prog.instructions), cfg_1t())
+        succs = deps.successor_latencies()
+        assert succs[0].get(1, 0) >= 1      # RAW ori->add
+        assert all(1 in s or 2 in s for s in succs[:1])
+
+
+# ---------------------------------------------------------------------------
+# Differential: static estimate vs cycle-accurate simulator
+# ---------------------------------------------------------------------------
+
+class TestDifferentialStalls:
+    @pytest.mark.parametrize("cfg", DIFF_CONFIGS,
+                             ids=["32pe-a2", "256pe-a4", "64pe-unpiped-red"])
+    def test_straight_line_kernels_match_exactly(self, cfg):
+        checked = 0
+        for builder in ALL_KERNEL_BUILDERS.values():
+            kern = builder(cfg.num_pes)
+            prog = assemble(kern.source, word_width=kern.word_width)
+            est = estimate_stalls(prog, cfg)
+            if not est.exact:
+                continue
+            run = run_kernel(kern, cfg)
+            stats = run.result.stats
+            assert est.total == stats.total_wait_cycles, kern.name
+            assert dict(est.by_cause) == dict(stats.wait_cycles), kern.name
+            checked += 1
+        # The kernel library must keep a healthy straight-line subset
+        # for this differential to mean anything.
+        assert checked >= 5
+
+    def test_sequential_multiplier_structural_path(self):
+        source = """
+.text
+    ori  s1, s0, 7
+    ori  s2, s0, 9
+    smul s3, s1, s2
+    smul s4, s2, s1
+    add  s5, s3, s4
+    halt
+"""
+        cfg = cfg_1t(multiplier=MultiplierKind.SEQUENTIAL)
+        prog = assemble(source, word_width=cfg.word_width)
+        est = estimate_stalls(prog, cfg)
+        assert est.exact
+        from repro.core import run_program
+        result = run_program(prog, cfg)
+        assert est.total == result.stats.total_wait_cycles
+        assert dict(est.by_cause) == dict(result.stats.wait_cycles)
+        assert est.by_cause[st.STALL_STRUCTURAL] > 0
+
+    def test_hazard_edges_attribute_measured_stalls(self):
+        # Back-to-back reduction -> scalar: the one binding edge must
+        # carry the whole measured stall count.
+        source = ".text\nrsum s1, p1\nadd s2, s1, s0\nhalt\n"
+        cfg = cfg_1t()
+        prog = assemble(source, word_width=cfg.word_width)
+        est = estimate_stalls(prog, cfg)
+        from repro.core import run_program
+        result = run_program(prog, cfg)
+        assert est.total == result.stats.total_wait_cycles
+        binding = [e for e in hazard_edges(prog, cfg) if e.stall_cycles]
+        assert len(binding) == 1
+        assert binding[0].stall_cycles == \
+            result.stats.wait_cycles[st.STALL_REDUCTION]
+
+
+# ---------------------------------------------------------------------------
+# Lint checks: one triggering and one clean fixture per check
+# ---------------------------------------------------------------------------
+
+def diags_of(source: str, check: str, cfg=None):
+    prog = assemble(source)
+    report = lint_program(prog, cfg or ProcessorConfig(), checks=[check])
+    return report.diagnostics
+
+
+class TestLintChecks:
+    def test_uninitialized_read_triggers(self):
+        out = diags_of(".text\nadd s2, s1, s0\nhalt\n",
+                       "uninitialized-read")
+        assert len(out) == 1
+        assert out[0].check == "uninitialized-read"
+        assert out[0].lineno == 2
+
+    def test_uninitialized_read_clean(self):
+        out = diags_of(".text\nori s1, s0, 1\nadd s2, s1, s0\nhalt\n",
+                       "uninitialized-read")
+        assert out == []
+
+    def test_uninitialized_read_exempts_tput_regs(self):
+        source = """
+.text
+    tspawn s1, worker
+    ori  s2, s0, 5
+    tput s1, s2, 4
+    tjoin s1
+    halt
+worker:
+    add s5, s4, s0
+    texit
+"""
+        out = diags_of(source, "uninitialized-read")
+        assert out == []
+
+    def test_unreachable_code_triggers(self):
+        out = diags_of(".text\nhalt\naddi s1, s1, 1\n",
+                       "unreachable-code")
+        assert len(out) == 1
+
+    def test_unreachable_code_clean_with_spawn(self):
+        source = """
+.text
+    tspawn s1, worker
+    tjoin s1
+    halt
+worker:
+    texit
+"""
+        assert diags_of(source, "unreachable-code") == []
+
+    def test_mask_scope_triggers_on_stale_responders(self):
+        source = """
+.text
+    pceqi f1, p1, 3
+    pclti f1, p2, 5 [f2]
+    halt
+"""
+        out = diags_of(source, "mask-scope")
+        assert len(out) == 1
+        assert "stale" in out[0].message
+
+    def test_mask_scope_clean_after_fclr(self):
+        source = """
+.text
+    fclr f1
+    pclti f1, p2, 5 [f2]
+    halt
+"""
+        assert diags_of(source, "mask-scope") == []
+
+    def test_thread_context_triggers_after_join(self):
+        source = """
+.text
+    tspawn s1, worker
+    tjoin s1
+    tget s2, s1, 3
+    halt
+worker:
+    texit
+"""
+        out = diags_of(source, "thread-context")
+        assert len(out) == 1
+        assert out[0].severity == "error"
+
+    def test_thread_context_clean_before_join(self):
+        source = """
+.text
+    tspawn s1, worker
+    tget s2, s1, 3
+    tjoin s1
+    halt
+worker:
+    texit
+"""
+        assert diags_of(source, "thread-context") == []
+
+    def test_scalar_mem_race_triggers(self):
+        source = """
+.text
+    tspawn s1, worker
+    ori  s2, s0, 1
+    sw   s2, 8(s0)
+    tjoin s1
+    halt
+worker:
+    ori  s3, s0, 2
+    sw   s3, 8(s0)
+    texit
+"""
+        out = diags_of(source, "scalar-mem-race")
+        assert len(out) == 1
+        assert "word 8" in out[0].message
+
+    def test_scalar_mem_race_clean_after_join(self):
+        source = """
+.text
+    tspawn s1, worker
+    tjoin s1
+    lw   s2, 8(s0)
+    halt
+worker:
+    ori  s3, s0, 2
+    sw   s3, 8(s0)
+    texit
+"""
+        assert diags_of(source, "scalar-mem-race") == []
+
+    def test_all_kernels_lint_clean(self):
+        cfg = cfg_1t(pes=32)
+        for builder in ALL_KERNEL_BUILDERS.values():
+            kern = builder(32)
+            prog = assemble(kern.source, word_width=kern.word_width)
+            report = lint_program(prog, cfg)
+            assert report.findings == [], (
+                f"{kern.name}: {[d.format() for d in report.findings]}")
+
+    def test_unknown_check_rejected(self):
+        prog = assemble(".text\nhalt\n")
+        with pytest.raises(ValueError, match="unknown lint check"):
+            lint_program(prog, ProcessorConfig(), checks=["bogus"])
+
+    def test_all_checks_registry(self):
+        assert set(ALL_CHECKS) == {
+            "uninitialized-read", "unreachable-code", "mask-scope",
+            "thread-context", "scalar-mem-race"}
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+class TestLintCLI:
+    def write(self, tmp_path, source):
+        path = tmp_path / "prog.s"
+        path.write_text(source)
+        return str(path)
+
+    def test_clean_program_exit_zero(self, tmp_path, capsys):
+        path = self.write(tmp_path, ".text\nori s1, s0, 1\nhalt\n")
+        assert cli_main(["lint", path, "--strict"]) == 0
+
+    def test_strict_findings_exit_two(self, tmp_path, capsys):
+        path = self.write(tmp_path, ".text\nadd s2, s1, s0\nhalt\n")
+        assert cli_main(["lint", path, "--strict"]) == 2
+        out = capsys.readouterr().out
+        assert "uninitialized-read" in out
+
+    def test_non_strict_findings_exit_zero(self, tmp_path, capsys):
+        path = self.write(tmp_path, ".text\nadd s2, s1, s0\nhalt\n")
+        assert cli_main(["lint", path]) == 0
+
+    def test_json_output(self, tmp_path, capsys):
+        path = self.write(
+            tmp_path,
+            ".text\npli p1, 4\nrsum s1, p1\nadd s2, s1, s0\nhalt\n")
+        assert cli_main(["lint", path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["estimate"]["exact"] is True
+        hazards = [h for h in payload["hazards"]
+                   if h["hazard"] == st.STALL_REDUCTION]
+        assert hazards and hazards[0]["stall_cycles"] > 0
+        assert payload["diagnostics"] == []
+
+    def test_json_diagnostics_carry_provenance(self, tmp_path, capsys):
+        path = self.write(tmp_path, ".text\nadd s2, s1, s0\nhalt\n")
+        cli_main(["lint", path, "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        (diag,) = payload["diagnostics"]
+        assert diag["lineno"] == 2
+        assert "add" in diag["source"]
+
+    def test_assembly_error_exit_one(self, tmp_path, capsys):
+        path = self.write(tmp_path, ".text\nbogus s1\n")
+        assert cli_main(["lint", path]) == 1
+
+    def test_kernels_flag_lints_library(self, capsys):
+        assert cli_main(["lint", "--kernels", "--strict",
+                         "--quiet"]) == 0
+
+    def test_check_subset(self, tmp_path, capsys):
+        path = self.write(tmp_path, ".text\nadd s2, s1, s0\nhalt\n")
+        assert cli_main(["lint", path, "--strict",
+                         "--checks", "unreachable-code"]) == 0
+
+
+# ---------------------------------------------------------------------------
+# Source-map integrity through assembly and scheduling
+# ---------------------------------------------------------------------------
+
+class TestSourceMap:
+    def test_every_instruction_has_provenance(self):
+        for builder in ALL_KERNEL_BUILDERS.values():
+            kern = builder(32)
+            prog = assemble(kern.source, word_width=kern.word_width)
+            assert set(prog.source_map) == set(
+                range(len(prog.instructions))), kern.name
+
+    def test_pseudo_expansion_indices(self):
+        prog = assemble(".text\nrnone s1, f1\nhalt\n")
+        # rnone expands to rany + sltiu from the same source line.
+        assert len(prog.instructions) == 3
+        assert prog.source_map[0].expansion == 0
+        assert prog.source_map[1].expansion == 1
+        assert prog.source_map[0].lineno == prog.source_map[1].lineno
+
+    def test_scheduler_permutes_source_map_exactly(self):
+        from repro.opt import schedule_program
+        cfg = cfg_1t()
+        for builder in ALL_KERNEL_BUILDERS.values():
+            kern = builder(64)
+            prog = assemble(kern.source, word_width=kern.word_width)
+            sched = schedule_program(prog, cfg)
+            assert set(sched.source_map) == set(
+                range(len(sched.instructions))), kern.name
+            # Multiset of provenance entries is preserved...
+            before = sorted((s.lineno, s.expansion)
+                            for s in prog.source_map.values())
+            after = sorted((s.lineno, s.expansion)
+                           for s in sched.source_map.values())
+            assert before == after, kern.name
+            # ...and each instruction keeps ITS OWN source line.
+            by_prov = {}
+            for pc, src in prog.source_map.items():
+                by_prov[(src.lineno, src.expansion)] = \
+                    prog.instructions[pc]
+            for pc, src in sched.source_map.items():
+                assert by_prov[(src.lineno, src.expansion)] \
+                    is sched.instructions[pc], kern.name

@@ -1,11 +1,10 @@
 """High-level AscContext API and functional-backend equivalence tests."""
 
-import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.assoc import AscContext, AscError, FunctionalMachine, run_functional
-from repro.core import MTMode, ProcessorConfig, run_program
+from repro.assoc import AscContext, AscError, run_functional
+from repro.core import ProcessorConfig, run_program
 from repro.util.bitops import to_signed
 
 

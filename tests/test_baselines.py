@@ -15,7 +15,7 @@ from repro.baselines import (
     pipelined_asc_2005,
     single_threaded_pipelined_asc,
 )
-from repro.core import MTMode, ProcessorConfig, run_program
+from repro.core import MTMode, ProcessorConfig
 from repro.isa.opcodes import OPCODES
 from repro.programs import assoc_max_extract, run_kernel
 from repro.programs.runner import extract_outputs, _load_lmem

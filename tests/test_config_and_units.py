@@ -4,7 +4,6 @@ import pytest
 
 from repro.core import stats as st_
 from repro.core.config import (
-    BranchPolicy,
     MTMode,
     ProcessorConfig,
     SchedulerPolicy,

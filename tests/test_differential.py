@@ -10,8 +10,6 @@ program order, any forwarding-window bug, or any scheduler-legality bug
 shows up as a state mismatch.
 """
 
-import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.asm import assemble

@@ -8,7 +8,6 @@ single-threaded differential testing cannot (lost wakeups, mis-ordered
 per-thread issue, cross-thread scoreboard leaks).
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.asm import assemble

@@ -3,7 +3,6 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.isa import registers as regs
 from repro.isa.encoding import DecodeError, decode, decode_program, encode, encode_program
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Format, OPCODES

@@ -2,7 +2,6 @@
 
 from dataclasses import replace
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.core import MTMode, ProcessorConfig

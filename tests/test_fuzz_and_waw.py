@@ -1,6 +1,5 @@
 """Decoder fuzzing and write-after-write ordering tests."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import MTMode, ProcessorConfig, run_program

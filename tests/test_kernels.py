@@ -12,8 +12,6 @@ from repro.programs import (
     assoc_max_extract,
     count_matches,
     database_query,
-    histogram,
-    image_threshold,
     mst_prim,
     reduction_storm,
     run_kernel,

@@ -4,13 +4,11 @@ import pytest
 
 from repro.core import (
     MTMode,
-    Processor,
     ProcessorConfig,
     SchedulerPolicy,
     SimulationError,
     run_program,
 )
-from repro.asm import assemble
 
 
 def mt_cfg(threads=4, pes=16, **kw):

@@ -269,3 +269,129 @@ loop:
             _load_lmem(proc.pe, kernel, cfg.num_pes)
             opt = proc.run().stats.cycles
             assert opt <= base * 1.10, name
+
+
+# ---------------------------------------------------------------------------
+# Refactor equivalence: the scheduler now builds its DAG from the shared
+# analysis machinery (repro.analysis.deps).  This frozen copy of the
+# pre-refactor DAG builder pins the schedules bit-for-bit.
+# ---------------------------------------------------------------------------
+
+def _reference_build_dag(instrs, cfg):
+    """The scheduler's original self-contained DAG construction."""
+    from repro.opt.scheduler import DepNode
+
+    def ref_raw_latency(producer, regfile):
+        from repro.core import timing
+        roff = timing.result_offset(producer.spec, cfg)
+        if roff is None:
+            return 1
+        read_off = (timing.SCALAR_READ_OFFSET if regfile == "s"
+                    else timing.parallel_read_offset(cfg))
+        return max(1, roff + 1 - read_off)
+
+    def mem_space(instr):
+        spec = instr.spec
+        if not (spec.is_load or spec.is_store):
+            return None
+        return "scalar" if spec.exec_class.value == "scalar" else "lmem"
+
+    nodes = [DepNode(i, ins) for i, ins in enumerate(instrs)]
+    last_writer = {}
+    readers = {}
+    last_store = {}
+    loads_since_store = {"scalar": [], "lmem": []}
+    last_barrier = None
+    for node in nodes:
+        instr = node.instr
+        if is_barrier(instr) or is_control(instr):
+            for prev in nodes[:node.index]:
+                prev.add_succ(node, 1)
+        if last_barrier is not None:
+            last_barrier.add_succ(node, 1)
+        if is_barrier(instr):
+            last_barrier = node
+        for regfile, idx in instr.src_regs():
+            writer = last_writer.get((regfile, idx))
+            if writer is not None:
+                writer.add_succ(node, ref_raw_latency(writer.instr, regfile))
+            readers.setdefault((regfile, idx), []).append(node)
+        dest = instr.dest_reg()
+        if dest is not None:
+            for reader in readers.get(dest, []):
+                if reader is not node:
+                    reader.add_succ(node, 1)
+            writer = last_writer.get(dest)
+            if writer is not None:
+                writer.add_succ(node, 1)
+            last_writer[dest] = node
+            readers[dest] = []
+        space = mem_space(instr)
+        if space is not None:
+            if instr.spec.is_store:
+                prev_store = last_store.get(space)
+                if prev_store is not None:
+                    prev_store.add_succ(node, 1)
+                for load in loads_since_store[space]:
+                    load.add_succ(node, 1)
+                last_store[space] = node
+                loads_since_store[space] = []
+            else:
+                prev_store = last_store.get(space)
+                if prev_store is not None:
+                    prev_store.add_succ(node, 1)
+                loads_since_store[space].append(node)
+    for node in reversed(nodes):
+        node.priority = max(
+            (lat + nodes[succ].priority
+             for succ, lat in node.succs.items()), default=0)
+    return nodes
+
+
+class TestRefactorEquivalence:
+    CONFIGS = [
+        dict(pes=32, broadcast_arity=2),
+        dict(pes=256, broadcast_arity=4),
+        dict(pes=64, broadcast_arity=2, pipelined_reduction=False),
+    ]
+
+    @pytest.mark.parametrize("kw", CONFIGS,
+                             ids=["32pe", "256pe", "64pe-unpiped"])
+    def test_dag_identical_to_reference(self, kw):
+        cfg = cfg_1t(**kw)
+        for builder in ALL_KERNEL_BUILDERS.values():
+            kernel = builder(cfg.num_pes)
+            prog = assemble(kernel.source, 16)
+            for block in basic_blocks(prog):
+                instrs = list(prog.instructions[block.start:block.end])
+                got = build_dag(instrs, cfg)
+                ref = _reference_build_dag(instrs, cfg)
+                for g, r in zip(got, ref):
+                    assert g.succs == r.succs, kernel.name
+                    assert g.num_preds == r.num_preds, kernel.name
+                    assert g.priority == r.priority, kernel.name
+
+    @pytest.mark.parametrize("kw", CONFIGS,
+                             ids=["32pe", "256pe", "64pe-unpiped"])
+    def test_schedules_identical_to_reference(self, kw):
+        cfg = cfg_1t(**kw)
+        for builder in ALL_KERNEL_BUILDERS.values():
+            kernel = builder(cfg.num_pes)
+            prog = assemble(kernel.source, 16)
+            sched = schedule_program(prog, cfg)
+            assert len(sched.instructions) == len(prog.instructions)
+            # Reference schedule: original DAG + the same list policy.
+            from repro.opt.scheduler import schedule_block_order
+            import repro.opt.scheduler as S
+            orig = S.build_dag
+            S.build_dag = _reference_build_dag
+            try:
+                ref_instrs = list(prog.instructions)
+                for block in basic_blocks(prog):
+                    block_in = prog.instructions[block.start:block.end]
+                    perm = schedule_block_order(list(block_in), cfg)
+                    ref_instrs[block.start:block.end] = \
+                        [block_in[i] for i in perm]
+            finally:
+                S.build_dag = orig
+            assert sched.instructions == ref_instrs, kernel.name

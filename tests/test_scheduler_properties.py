@@ -1,6 +1,5 @@
 """Coarse-grain scheduler internals + list-scheduler legality properties."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.asm import assemble

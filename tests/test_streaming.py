@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.asm import assemble
-from repro.core import ProcessorConfig, Processor
+from repro.core import ProcessorConfig
 from repro.programs.streaming import (
     StreamingError,
     TiledReducer,

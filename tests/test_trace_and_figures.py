@@ -1,10 +1,8 @@
 """Pipeline trace rendering and Figure 1/2/3 structural checks."""
 
-from repro.asm import assemble
 from repro.core import (
     CONTROL_UNIT_EDGES,
     MTMode,
-    Processor,
     ProcessorConfig,
     control_unit_components,
     hazard_distance,

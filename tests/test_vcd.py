@@ -2,7 +2,6 @@
 
 import re
 
-import pytest
 
 from repro.core import MTMode, ProcessorConfig, run_program
 from repro.core.vcd import build_vcd, write_vcd

@@ -9,7 +9,7 @@ re-measured) deliberately rather than silently drifting.
 import pytest
 
 from repro.bench import bar_chart, line_chart, sparkline
-from repro.core import MTMode, ProcessorConfig
+from repro.core import ProcessorConfig
 from repro.programs import ALL_KERNEL_BUILDERS, run_kernel
 
 

@@ -1,6 +1,5 @@
 """32-bit configuration tests: the whole stack at the widest data path."""
 
-import numpy as np
 import pytest
 
 from repro.core import MTMode, ProcessorConfig, run_program
