@@ -1,0 +1,34 @@
+# Associative self-test: every PE searches for its own copy of a
+# broadcast pattern; PEs that fail to respond (or respond when they
+# should not) are broken.  Two complementary patterns exercise every
+# bit at both polarities, so stuck-at-0 and stuck-at-1 cells are both
+# caught.  This is the screening idiom `repro.faults.run_self_test`
+# generates; the O(log n) responder reduction makes the cost
+# independent of array size.
+#
+# Lint-clean by construction:
+#   python -m repro lint examples/asm/fault_selftest.s --strict
+
+.equ PATTERN_A, 0xA5        # 10100101
+.equ PATTERN_B, 0x5A        # 01011010
+
+.text
+main:
+    li     s1, PATTERN_A
+    pbcast p1, s1           # every healthy PE now holds the pattern
+    fclr   f1
+    pceqs  f1, p1, s1       # parallel search: who still holds it?
+
+    li     s1, PATTERN_B
+    pbcast p1, s1
+    fclr   f2
+    pceqs  f2, p1, s1
+
+    fand   f3, f1, f2       # f3: PE matched both patterns
+    fnot   f4, f3           # f4: failing PEs (the defect responders)
+    rcount s3, f4           # how many PEs failed?
+    rany   s4, f4           # any failures at all?
+
+    fset   f5               # all-PEs responder set: the machine's
+    rcount s5, f5           # count must equal the live-PE total, or
+    halt                    # a reduction link is dead

@@ -43,9 +43,19 @@ from repro.core import (
     ProcessorConfig,
     RunResult,
     SchedulerPolicy,
+    SimTimeout,
     SimulationError,
     Stats,
     run_program,
+)
+from repro.faults import (
+    FaultKind,
+    FaultPlane,
+    FaultSite,
+    FaultSpec,
+    run_campaign,
+    run_kernel_degraded,
+    run_self_test,
 )
 from repro.isa import Instruction, decode, encode
 from repro.programs import (
@@ -74,9 +84,17 @@ __all__ = [
     "ProcessorConfig",
     "RunResult",
     "SchedulerPolicy",
+    "SimTimeout",
     "SimulationError",
     "Stats",
     "run_program",
+    "FaultKind",
+    "FaultPlane",
+    "FaultSite",
+    "FaultSpec",
+    "run_campaign",
+    "run_kernel_degraded",
+    "run_self_test",
     "Instruction",
     "decode",
     "encode",

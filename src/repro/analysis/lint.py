@@ -33,6 +33,14 @@ Checks
     access after the child.  Addresses are resolved only when the base
     register's value is a compile-time constant; unknown addresses are
     never reported (the check under-approximates rather than cry wolf).
+``unguarded-reduction``
+    A masked value reduction (``rmax``, ``rsum``, ...) whose responder
+    flag is never tested with ``rany``/``rcount`` anywhere in the
+    program.  An empty responder set returns the unit's identity
+    element, which silently poisons downstream arithmetic — the same
+    hazard class fault campaigns classify as silent data corruption.
+    Reported at *info* severity: many kernels guarantee a non-empty
+    responder set by construction.
 """
 
 from __future__ import annotations
@@ -380,12 +388,41 @@ def check_scalar_mem_race(ctx: AnalysisContext) -> list[Diagnostic]:
     return out
 
 
+def check_unguarded_reduction(ctx: AnalysisContext) -> list[Diagnostic]:
+    from repro.network.reduction import REDUCTION_FNS
+
+    out: list[Diagnostic] = []
+    program = ctx.program
+    # Flags that *some* rany/rcount in the program inspects: the
+    # guarded set.  Flow-insensitive on purpose — a guard anywhere is
+    # taken as evidence the author thought about emptiness.
+    guarded = {instr.rs for instr in program.instructions
+               if instr.mnemonic in ("rany", "rcount")}
+    for bi in sorted(ctx.cfg.reachable()):
+        block = ctx.cfg.blocks[bi]
+        for pc in block.range:
+            instr = program.instructions[pc]
+            if instr.mnemonic not in REDUCTION_FNS:
+                continue
+            mf = instr.mf
+            if mf == registers.ALWAYS_FLAG or mf in guarded:
+                continue
+            out.append(ctx.diag(
+                "unguarded-reduction", "info", pc,
+                f"{instr.mnemonic} result is consumed without a "
+                f"responder guard: no rany/rcount ever tests f{mf}, so "
+                f"an empty responder set silently yields the identity "
+                f"element"))
+    return out
+
+
 ALL_CHECKS = {
     "uninitialized-read": check_uninitialized_read,
     "unreachable-code": check_unreachable_code,
     "mask-scope": check_mask_scope,
     "thread-context": check_thread_context,
     "scalar-mem-race": check_scalar_mem_race,
+    "unguarded-reduction": check_unguarded_reduction,
 }
 
 

@@ -6,6 +6,7 @@ Commands
 ``disasm``   disassemble a hex word listing
 ``run``      run a program on the cycle-accurate simulator
 ``lint``     static hazard/dataflow analysis of a program
+``faultsim`` seeded fault-injection campaign over a library kernel
 ``info``     machine configuration, resource usage, device fit
 ``isa``      print the instruction-set reference
 
@@ -13,6 +14,7 @@ Examples::
 
     python -m repro run program.s --pes 64 --threads 16 --trace
     python -m repro lint program.s --strict --json
+    python -m repro faultsim --kernel count_matches --faults 100 --seed 0
     python -m repro info --pes 16 --width 8 --device EP2C35
     python -m repro asm kernel.s -o kernel.hex
 """
@@ -263,6 +265,38 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faultsim(args: argparse.Namespace) -> int:
+    from repro.faults import FaultSite, run_campaign
+
+    cfg = _config_from_args(args)
+    sites = None
+    if args.sites:
+        try:
+            sites = [FaultSite(s.strip())
+                     for s in args.sites.split(",") if s.strip()]
+        except ValueError:
+            known = ", ".join(s.value for s in FaultSite)
+            print(f"faultsim: unknown fault site in {args.sites!r} "
+                  f"(known: {known})", file=sys.stderr)
+            return 1
+    try:
+        report = run_campaign(
+            args.kernel, cfg, faults=args.faults, seed=args.seed,
+            sites=sites, parity=not args.no_parity,
+            watchdog_factor=args.watchdog)
+    except ValueError as exc:
+        print(f"faultsim: {exc}", file=sys.stderr)
+        return 1
+    text = report.to_json() if args.json else report.render()
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"faultsim: report -> {args.output}")
+    else:
+        print(text)
+    return 0
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     from repro.fpga.devices import device_by_name
     from repro.fpga.fitter import max_pes
@@ -354,6 +388,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--quiet", action="store_true",
                         help="diagnostics only; no hazard/stall summary")
     p_lint.set_defaults(func=cmd_lint)
+
+    p_fault = sub.add_parser(
+        "faultsim", help="seeded fault-injection campaign over a kernel")
+    p_fault.add_argument("--kernel", required=True,
+                         help="library kernel name (see repro.programs)")
+    _add_machine_args(p_fault)
+    p_fault.add_argument("--faults", type=int, default=100,
+                         help="number of faults to inject (default 100)")
+    p_fault.add_argument("--seed", type=int, default=0,
+                         help="campaign seed (default 0)")
+    p_fault.add_argument("--sites", default=None, metavar="a,b,...",
+                         help="restrict to these fault sites "
+                              "(e.g. pe_reg,dead_pe)")
+    p_fault.add_argument("--no-parity", action="store_true",
+                         help="disable the PE register parity checker")
+    p_fault.add_argument("--watchdog", type=int, default=4,
+                         help="hang watchdog as a multiple of the golden "
+                              "cycle count (default 4)")
+    p_fault.add_argument("--json", action="store_true",
+                         help="emit the machine-readable JSON report")
+    p_fault.add_argument("-o", "--output", help="write the report here")
+    p_fault.set_defaults(func=cmd_faultsim)
 
     p_info = sub.add_parser("info", help="machine/resource summary")
     _add_machine_args(p_info)

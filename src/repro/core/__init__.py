@@ -12,6 +12,7 @@ from repro.core.processor import (
     IssueRecord,
     Processor,
     RunResult,
+    SimTimeout,
     SimulationError,
     run_program,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "IssueRecord",
     "Processor",
     "RunResult",
+    "SimTimeout",
     "SimulationError",
     "run_program",
     "Stats",

@@ -12,7 +12,7 @@ import enum
 from dataclasses import dataclass
 
 from repro.network.tree import broadcast_latency, reduction_latency
-from repro.util.bitops import SUPPORTED_WIDTHS
+from repro.util.bitops import SUPPORTED_WIDTHS, mask_for_width
 
 
 class MTMode(enum.Enum):
@@ -111,12 +111,24 @@ class ProcessorConfig:
         if self.mt_mode is not MTMode.SINGLE and self.num_threads < 2:
             raise ValueError(f"{self.mt_mode.value} multithreading needs "
                              ">= 2 thread contexts")
+        # Thread ids travel through W-bit scalar registers (tspawn's
+        # failure sentinel is the all-ones word): more contexts than the
+        # word can name would silently alias.  Reject instead of wrap.
+        if self.num_threads > mask_for_width(self.word_width):
+            raise ValueError(
+                f"num_threads={self.num_threads} cannot be named by a "
+                f"{self.word_width}-bit word (max "
+                f"{mask_for_width(self.word_width)}); thread ids would wrap")
         if self.broadcast_arity < 2:
             raise ValueError("broadcast_arity must be >= 2")
         if self.lmem_words < 1 or self.scalar_mem_words < 1:
             raise ValueError("memory sizes must be positive")
         if self.coarse_switch_penalty < 0:
             raise ValueError("coarse_switch_penalty must be >= 0")
+        if self.coarse_switch_threshold < 0:
+            raise ValueError("coarse_switch_threshold must be >= 0")
+        if self.max_cycles < 1:
+            raise ValueError("max_cycles must be >= 1")
         if self.fetch_width is not None and self.fetch_width < 1:
             raise ValueError("fetch_width must be >= 1")
         if self.fetch_buffer_depth < 1:

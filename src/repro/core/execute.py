@@ -109,12 +109,20 @@ class Executor:
     """
 
     def __init__(self, pe_array: PEArray, scalar_memory, thread_table,
-                 word_width: int) -> None:
+                 word_width: int, faults=None) -> None:
         self.pe = pe_array
         self.mem = scalar_memory
         self.threads = thread_table
         self.width = word_width
         self.word_mask = mask_for_width(word_width)
+        # Fault-injection plane (repro.faults.FaultPlane) or None.  The
+        # parity read check is bound once here so the healthy hot path
+        # keeps the raw array read.
+        self.faults = faults
+        if faults is not None and faults.parity:
+            self._read_preg = self._read_preg_checked
+        else:
+            self._read_preg = pe_array.read_reg
 
     # -- entry point -----------------------------------------------------------
 
@@ -206,13 +214,29 @@ class Executor:
 
     # -- parallel path ------------------------------------------------------------
 
+    def _read_preg_checked(self, tid: int, reg: int) -> np.ndarray:
+        """Parallel-register read with a parity check at the read port."""
+        values = self.pe.read_reg(tid, reg)
+        if reg != registers.ZERO_REG:
+            bad = self.pe.parity_mismatch(tid, reg)
+            if bad.any():
+                self.faults.record_parity_alarm(tid, reg, np.flatnonzero(bad))
+        return values
+
+    def _broadcast(self, value: int) -> np.ndarray:
+        """A scalar/immediate crossing the broadcast tree to every PE."""
+        vec = np.broadcast_to(np.int64(value), (self.pe.num_pes,))
+        if self.faults is not None:
+            vec = self.faults.filter_broadcast(vec)
+        return vec
+
     def _operand_b(self, instr: Instruction, thread: ThreadContext,
-                   bsrc: str) -> np.ndarray | int:
+                   bsrc: str) -> np.ndarray:
         if bsrc == "pt":
-            return self.pe.read_reg(thread.tid, instr.rt)
+            return self._read_preg(thread.tid, instr.rt)
         if bsrc == "st":
-            return thread.read_sreg(instr.rt)
-        return to_unsigned(instr.imm, self.width)
+            return self._broadcast(thread.read_sreg(instr.rt))
+        return self._broadcast(to_unsigned(instr.imm, self.width))
 
     def _mask(self, instr: Instruction, thread: ThreadContext) -> np.ndarray:
         return self.pe.read_flag(thread.tid, instr.mf)
@@ -224,43 +248,40 @@ class Executor:
 
         if m in _PARALLEL_INT:
             base, bsrc = _PARALLEL_INT[m]
-            a = self.pe.read_reg(tid, instr.rs)
-            b = self._operand_b(instr, thread, bsrc)
-            b_vec = np.broadcast_to(np.int64(b), a.shape) if np.isscalar(b) else b
+            a = self._read_preg(tid, instr.rs)
+            b_vec = self._operand_b(instr, thread, bsrc)
             result = INT_OPS[base](a, b_vec, self.width)
             self.pe.write_reg(tid, instr.rd, result, self._mask(instr, thread))
             return
         if m in _PARALLEL_CMP:
             base, bsrc = _PARALLEL_CMP[m]
-            a = self.pe.read_reg(tid, instr.rs)
-            b = self._operand_b(instr, thread, bsrc)
-            b_vec = np.broadcast_to(np.int64(b), a.shape) if np.isscalar(b) else b
+            a = self._read_preg(tid, instr.rs)
+            b_vec = self._operand_b(instr, thread, bsrc)
             flags = CMP_OPS[base](a, b_vec, self.width)
             self.pe.write_flag(tid, instr.rd, flags, self._mask(instr, thread))
             return
         if m == "pbcast":
-            value = np.broadcast_to(
-                np.int64(thread.read_sreg(instr.rs)), (self.pe.num_pes,))
+            value = self._broadcast(thread.read_sreg(instr.rs))
             self.pe.write_reg(tid, instr.rd, value, self._mask(instr, thread))
             return
         if m == "psel":
             sel = self.pe.read_flag(tid, instr.mf)
-            a = self.pe.read_reg(tid, instr.rs)
-            b = self.pe.read_reg(tid, instr.rt)
+            a = self._read_preg(tid, instr.rs)
+            b = self._read_preg(tid, instr.rt)
             result = np.where(sel, a, b)
             self.pe.write_reg(tid, instr.rd, result,
                               np.ones(self.pe.num_pes, dtype=bool))
             return
         if m == "plw":
             mask = self._mask(instr, thread)
-            addr = self.pe.read_reg(tid, instr.rs) + instr.imm
+            addr = self._read_preg(tid, instr.rs) + instr.imm
             values = self.pe.load(addr, mask)
             self.pe.write_reg(tid, instr.rd, values, mask)
             return
         if m == "psw":
             mask = self._mask(instr, thread)
-            addr = self.pe.read_reg(tid, instr.rs) + instr.imm
-            self.pe.store(addr, self.pe.read_reg(tid, instr.rd), mask)
+            addr = self._read_preg(tid, instr.rs) + instr.imm
+            self.pe.store(addr, self._read_preg(tid, instr.rd), mask)
             return
         if m in ("fand", "for", "fxor", "fandn"):
             a = self.pe.read_flag(tid, instr.rs)
@@ -290,22 +311,33 @@ class Executor:
         m = instr.mnemonic
         tid = thread.tid
         mask = self._mask(instr, thread)
+        faults = self.faults
+        if faults is not None:
+            # Dead reduction-tree links and masked-out PEs drop out of
+            # the responder set feeding every reduction unit.
+            mask = faults.reduction_mask(mask)
 
         if m in red.REDUCTION_FNS:
             fn, _src = red.REDUCTION_FNS[m]
-            values = self.pe.read_reg(tid, instr.rs)
-            thread.write_sreg(instr.rd, fn(values, mask, self.width),
-                              self.word_mask)
+            values = self._read_preg(tid, instr.rs)
+            result = fn(values, mask, self.width)
+            if faults is not None:
+                result = faults.filter_reduction_value(result)
+            thread.write_sreg(instr.rd, result, self.word_mask)
             return
         if m == "rcount":
             flags = self.pe.read_flag(tid, instr.rs)
-            thread.write_sreg(instr.rd, red.count_responders(flags, mask),
-                              self.word_mask)
+            result = red.count_responders(flags, mask)
+            if faults is not None:
+                result = faults.filter_reduction_value(result)
+            thread.write_sreg(instr.rd, result, self.word_mask)
             return
         if m == "rany":
             flags = self.pe.read_flag(tid, instr.rs)
-            thread.write_sreg(instr.rd, red.any_responders(flags, mask),
-                              self.word_mask)
+            result = red.any_responders(flags, mask)
+            if faults is not None:
+                result = faults.filter_reduction_value(result)
+            thread.write_sreg(instr.rd, result, self.word_mask)
             return
         if m == "rfirst":
             flags = self.pe.read_flag(tid, instr.rs)

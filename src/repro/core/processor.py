@@ -47,6 +47,15 @@ class SimulationError(RuntimeError):
     """Deadlock, runaway execution, or an illegal program."""
 
 
+class SimTimeout(SimulationError):
+    """The cycle-limit watchdog fired: the program exceeded ``max_cycles``.
+
+    A typed subclass so callers (the fault-campaign runner, tests) can
+    distinguish a hung program from other simulation failures while old
+    ``except SimulationError`` code keeps working.
+    """
+
+
 @dataclass
 class IssueRecord:
     """One issued instruction, for pipeline traces and debugging."""
@@ -90,15 +99,19 @@ class Processor:
     """One configured machine instance.  Reusable across programs."""
 
     def __init__(self, config: ProcessorConfig | None = None,
-                 trace: bool = False) -> None:
+                 trace: bool = False, faults=None) -> None:
         self.cfg = config or ProcessorConfig()
         cfg = self.cfg
+        # Optional fault-injection plane (repro.faults.FaultPlane).  All
+        # hooks hide behind "is not None" checks: a healthy machine pays
+        # nothing and its cycle-level behaviour is bit-for-bit unchanged.
+        self.faults = faults
         self.pe = PEArray(cfg.num_pes, cfg.num_threads, cfg.word_width,
                           cfg.lmem_words)
         self.mem = ScalarMemory(cfg.scalar_mem_words, cfg.word_width)
         self.threads = ThreadStatusTable(cfg.num_threads)
         self.executor = Executor(self.pe, self.mem, self.threads,
-                                 cfg.word_width)
+                                 cfg.word_width, faults=faults)
         self.scheduler = ThreadScheduler(cfg)
         self.trace_enabled = trace
         self.program: Program | None = None
@@ -136,7 +149,7 @@ class Processor:
             self.mem.load_image(self.program.data)
         self.threads = ThreadStatusTable(self.cfg.num_threads)
         self.executor = Executor(self.pe, self.mem, self.threads,
-                                 self.cfg.word_width)
+                                 self.cfg.word_width, faults=self.faults)
         self.scheduler.reset()
         for unit in self.units.values():
             unit.reset()
@@ -154,6 +167,8 @@ class Processor:
             assert tid == 0
             if self.fetch is not None:
                 self.fetch.thread_started(tid, 0)
+        if self.faults is not None:
+            self.faults.attach(self)
 
     # -- hazard / readiness evaluation ------------------------------------------
 
@@ -172,6 +187,10 @@ class Processor:
         """(earliest issue cycle, binding wait cause, base cycle) for the
         thread's next instruction."""
         assert self.program is not None
+        if not 0 <= thread.pc < len(self.program.instructions):
+            raise SimulationError(
+                f"thread {thread.tid}: PC {thread.pc} outside the program "
+                f"(0..{len(self.program.instructions) - 1})")
         instr = self.program.instructions[thread.pc]
         spec = instr.spec
         cfg = self.cfg
@@ -341,6 +360,7 @@ class Processor:
         cycle = self._cycle
         self.paused = False
 
+        faults = self.faults
         while not self.halted:
             if stop_when is not None and stop_when(self, cycle):
                 self.paused = True
@@ -349,9 +369,11 @@ class Processor:
             if not live:
                 break
             if cycle > limit:
-                raise SimulationError(
+                raise SimTimeout(
                     f"exceeded max_cycles={limit}; "
                     f"live threads at {[t.pc for t in live]}")
+            if faults is not None:
+                faults.begin_cycle(cycle)
 
             if self.fetch is not None:
                 self.fetch.advance_to(

@@ -49,6 +49,11 @@ class Stats:
     wait_cycles: Counter = field(default_factory=Counter)
     threads_spawned: int = 0
     reduction_unit_uses: Counter = field(default_factory=Counter)
+    # Fault-injection accounting (repro.faults): injections that actually
+    # fired during this run, and parity-alarm events raised at PE
+    # register read ports.  Zero on a healthy machine.
+    faults_injected: int = 0
+    fault_alarms: int = 0
 
     @property
     def ipc(self) -> float:
@@ -98,4 +103,8 @@ class Stats:
         for cause in ALL_STALL_CAUSES:
             if self.wait_cycles.get(cause):
                 rows.append((f"wait[{cause}]", self.wait_cycles[cause]))
+        if self.faults_injected:
+            rows.append(("faults injected", self.faults_injected))
+        if self.fault_alarms:
+            rows.append(("parity alarms", self.fault_alarms))
         return format_table(("metric", "value"), rows)

@@ -1,0 +1,110 @@
+"""Graceful degradation: keep computing correctly on the surviving PEs.
+
+The associative computing model makes defect tolerance almost free: PEs
+are anonymous responders, not addresses, so a condemned PE can simply be
+removed from every responder set and the algorithm never notices.  The
+recovery sequence implemented here:
+
+1. run the associative self-test (:mod:`repro.faults.detect`) to find
+   failing physical PEs;
+2. ``mask_out`` those PEs on the fault plane — they stop responding to
+   every reduction and their writes are suppressed;
+3. rebuild the workload for the *surviving* PE count and scatter its
+   per-PE data onto the surviving physical slots, in ascending order so
+   the multiple-response resolver's first-responder ordering is
+   preserved;
+4. run, and check the outputs against the smaller workload's oracle.
+
+Step 3 is the software half of the paper's defect-tolerance story: the
+work shrinks to the healthy sub-array instead of crashing or silently
+computing garbage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.asm.assembler import assemble
+from repro.core.config import ProcessorConfig
+from repro.core.processor import Processor, RunResult
+from repro.faults.detect import SelfTestResult, run_self_test
+from repro.faults.plane import FaultPlane
+from repro.programs.kernels import Kernel
+from repro.programs.runner import KernelSetupError, extract_outputs, kernel_norm
+
+
+@dataclass
+class DegradedRun:
+    """Result of one self-test → mask-out → re-run sequence."""
+
+    kernel: Kernel
+    self_test: SelfTestResult
+    surviving: np.ndarray          # physical indices still carrying work
+    result: RunResult
+    measured: dict[str, object]
+    expected: dict[str, object]
+
+    @property
+    def correct(self) -> bool:
+        return self.measured == self.expected
+
+    @property
+    def n_masked(self) -> int:
+        return int(self.result.processor.cfg.num_pes - len(self.surviving))
+
+
+def run_kernel_degraded(builder: Callable[..., Kernel],
+                        cfg: ProcessorConfig,
+                        plane: FaultPlane,
+                        max_cycles: int | None = None) -> DegradedRun:
+    """Self-test, mask out failing PEs, and run ``builder``'s kernel on
+    the survivors.
+
+    ``builder`` is a kernel builder taking the PE count as its first
+    argument (any entry of
+    :data:`repro.programs.kernels.ALL_KERNEL_BUILDERS`); it is invoked
+    with the *surviving* count so the workload and its oracle shrink to
+    the healthy sub-array.
+    """
+    proc = Processor(cfg, faults=plane)
+    self_test = run_self_test(proc)
+    plane.mask_out(self_test.failing)
+    surviving = np.flatnonzero(plane.surviving)
+    n_good = int(len(surviving))
+    if n_good == 0:
+        raise KernelSetupError("no surviving PEs to degrade onto")
+
+    kernel = builder(n_good)
+    if kernel.word_width != cfg.word_width:
+        raise KernelSetupError(
+            f"{kernel.name} is built for W={kernel.word_width}, "
+            f"config has W={cfg.word_width}")
+    if n_good < kernel.min_pes:
+        raise KernelSetupError(
+            f"{kernel.name} needs >= {kernel.min_pes} PEs, "
+            f"only {n_good} survive")
+    if cfg.lmem_words < kernel.min_lmem_words:
+        raise KernelSetupError(
+            f"{kernel.name} needs >= {kernel.min_lmem_words} local words")
+
+    program = assemble(kernel.source, word_width=cfg.word_width)
+    proc.load(program)
+    # Scatter the n_good-sized logical data onto the surviving physical
+    # slots (ascending, preserving first-responder order).  Masked-out
+    # slots keep whatever garbage they hold: they never respond.
+    for col, values in kernel.lmem.items():
+        logical = np.zeros(n_good, dtype=np.int64)
+        n = min(len(values), n_good)
+        logical[:n] = values[:n]
+        full = np.zeros(cfg.num_pes, dtype=np.int64)
+        full[surviving] = logical
+        proc.pe.set_lmem_column(col, full)
+    result = proc.run(max_cycles=max_cycles)
+    measured = extract_outputs(kernel, result)
+    expected = {k: kernel_norm(v) for k, v in kernel.expected.items()}
+    return DegradedRun(kernel=kernel, self_test=self_test,
+                       surviving=surviving, result=result,
+                       measured=measured, expected=expected)

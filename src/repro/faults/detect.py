@@ -1,0 +1,103 @@
+"""Fault detection: the associative self-test kernel.
+
+Classic associative defect screening (the lineage runs back to the
+STARAN-era machines the paper builds on): broadcast a known pattern to
+every PE, have each PE compare its own copy against the broadcast — a
+*parallel search for itself* — and reduce the responder set.  A healthy
+machine answers "all PEs respond"; any PE whose register file, compare
+unit, or broadcast leaf is broken falls out of (or pollutes) the
+responder set, and the multiple-response machinery identifies it in
+O(log n) cycles regardless of array size.
+
+Two complementary patterns (``0xA5…``/``0x5A…``) are used so that both
+stuck-at-0 and stuck-at-1 cells are caught: every bit position is
+exercised at both polarities.  Dead PEs in this model answer *true* to
+every flag read, so they show up as responders to the failing-PE
+readout and are caught too.
+
+:func:`run_self_test` runs the kernel on a live processor (preserving
+whatever fault/degradation state its plane carries) and returns which
+physical PEs failed — exactly what :func:`repro.faults.degrade.mask_out
+<repro.faults.plane.FaultPlane.mask_out>` wants as input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.asm.assembler import assemble
+from repro.util.bitops import mask_for_width
+
+# Register conventions of the generated self-test program.
+FAIL_FLAG = 4       # f4: set on every PE that failed some pattern
+COUNT_REG = 3       # s3: responder count over FAIL_FLAG
+LINK_COUNT_REG = 4  # s4: responder count over an all-PEs flag (f5)
+_PATTERNS = (0xA5A5A5A5, 0x5A5A5A5A)
+
+
+def self_test_source(width: int) -> str:
+    """Assembly for the pattern self-test at a given word width."""
+    steps = []
+    for i, raw in enumerate(_PATTERNS, start=1):
+        pattern = raw & mask_for_width(width)
+        steps.append(f"""
+    li     s1, {pattern}
+    pbcast p1, s1
+    fclr   f{i}
+    pceqs  f{i}, p1, s1
+""")
+    body = "".join(steps)
+    return f""".text
+{body}
+    fand   f3, f1, f2       # f3: PE matched every pattern
+    fnot   f{FAIL_FLAG}, f3
+    rcount s{COUNT_REG}, f{FAIL_FLAG}
+    fset   f5               # every PE responds: exercises the whole
+    rcount s{LINK_COUNT_REG}, f5   # reduction tree (dead links undercount)
+    halt
+"""
+
+
+@dataclass
+class SelfTestResult:
+    """Outcome of one self-test sweep."""
+
+    failing: np.ndarray     # bool per physical PE
+    fail_count: int         # responder count as seen by the machine
+    cycles: int
+    link_ok: bool = True    # the reduction tree counted every live PE
+
+    @property
+    def passed(self) -> bool:
+        return not bool(self.failing.any()) and self.link_ok
+
+
+def run_self_test(proc, max_cycles: int = 4096) -> SelfTestResult:
+    """Run the self-test on a live processor and report failing PEs.
+
+    Runs through ``Processor.run`` so any attached fault plane keeps
+    injecting (hard faults persist across program loads); reads the
+    failure flags host-side because a machine with a broken reduction
+    tree cannot be trusted to count its own failures.
+
+    The reduction tree itself is screened by counting an all-PEs
+    responder set through the machine and comparing against the live-PE
+    count the host expects: a dead link silently undercounts.
+    """
+    program = assemble(self_test_source(proc.cfg.word_width),
+                       word_width=proc.cfg.word_width)
+    result = proc.run(program, max_cycles=max_cycles)
+    failing = np.asarray(result.pe_flag(FAIL_FLAG), dtype=bool).copy()
+    plane = proc.faults
+    expected_live = (int(plane.surviving.sum()) if plane is not None
+                     else proc.cfg.num_pes)
+    link_ok = True
+    if expected_live <= mask_for_width(proc.cfg.word_width):
+        # (At larger PE counts the W-bit count register wraps and the
+        # comparison would false-alarm; skip it, as hardware would.)
+        link_ok = int(result.scalar(LINK_COUNT_REG)) == expected_live
+    return SelfTestResult(failing=failing,
+                          fail_count=int(result.scalar(COUNT_REG)),
+                          cycles=result.cycles, link_ok=link_ok)

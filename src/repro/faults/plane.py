@@ -1,0 +1,339 @@
+"""The fault plane: deterministic injection hooks over a live machine.
+
+A :class:`FaultPlane` owns a list of :class:`~repro.faults.spec.FaultSpec`
+and applies them to an attached :class:`~repro.core.processor.Processor`
+at exactly the specified cycles.  The processor consults the plane at
+three points, all behind ``is not None`` checks so a machine built
+without faults pays nothing:
+
+* ``begin_cycle``            — start of every scheduling round: fires
+  transient state upsets, activates stuck-at/permanent faults, and
+  re-asserts stuck bits and dead-PE garbage;
+* ``filter_broadcast``       — a value crossing the broadcast tree
+  (``pbcast``, scalar/immediate operands of parallel ops);
+* ``reduction_mask`` / ``filter_reduction_value`` — every reduction:
+  drops dead-link subtrees and masked-out PEs from the responder set and
+  corrupts in-flight results for armed reduction-node upsets.
+
+The plane is also where *recovery* state lives: ``mask_out`` records PEs
+the self-test (or an operator) has condemned; masked-out PEs are excluded
+from every reduction and their writes are suppressed, which is exactly
+the associative mask-out defect-tolerance story — a faulty PE simply
+stops being a responder.  ``masked_out`` survives ``Processor.reset`` so
+a degraded machine stays degraded across program loads.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from repro.core.config import ProcessorConfig
+from repro.faults.spec import FaultKind, FaultSite, FaultSpec
+from repro.isa import registers
+from repro.network.reduction import drop_link_subtrees
+from repro.util.bitops import mask_for_width
+
+if TYPE_CHECKING:   # pragma: no cover - typing only
+    from repro.core.processor import Processor
+
+# Garbage pattern a dead PE's cells read as (xored per-PE so neighbouring
+# dead PEs disagree, like real floating outputs).
+_DEAD_PATTERN = 0xA5A5A5A5
+
+
+def _wrap_reg(idx: int, count: int) -> int:
+    """Wrap a register index into the non-hardwired range [1, count).
+
+    In-range indices map to themselves; index 0 (the hardwired
+    zero/always register, re-pinned only at reset, so a flip would
+    stick) is redirected to 1.
+    """
+    if count < 2:
+        return 0
+    r = idx % count
+    return r if r else 1
+
+
+class FaultPlane:
+    """Deterministic fault injection/detection state for one machine."""
+
+    def __init__(self, specs: Iterable[FaultSpec],
+                 cfg: ProcessorConfig | None = None,
+                 parity: bool = False) -> None:
+        self.cfg = cfg or ProcessorConfig()
+        self.specs = list(specs)
+        self.parity = parity
+        self.transients_enabled = True
+        self.word_mask = mask_for_width(self.cfg.word_width)
+        self.proc: "Processor | None" = None
+        self.cycle = 0
+        # Recovery state: survives attach()/reset().
+        self.masked_out = np.zeros(self.cfg.num_pes, dtype=bool)
+        # Detection state.
+        self.alarms: list[dict] = []
+        self._alarm_sites: set[tuple] = set()
+        # Injection log (label, fire cycle) for campaign reports.
+        self.injection_log: list[dict] = []
+        # Hard faults (dead PE, dead link, stuck-at) that have activated:
+        # they persist across program reloads — once dead, always dead —
+        # so a post-run self-test still sees them.
+        self._burned_in: list[FaultSpec] = []
+        self._reset_runtime()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _reset_runtime(self) -> None:
+        n = self.cfg.num_pes
+        self.dead_pes = np.zeros(n, dtype=bool)
+        self.dead_links: list[tuple[int, int]] = []
+        self._stuck: list[FaultSpec] = []
+        self._armed_broadcast: list[FaultSpec] = []
+        self._armed_reduction: list[FaultSpec] = []
+        self._pending = sorted(
+            (s for s in self.specs if s not in self._burned_in),
+            key=lambda s: (s.cycle, s.label))
+        self._excluded: np.ndarray | None = None
+        for spec in self._burned_in:
+            self._apply_hard(spec)
+        self._refresh_exclusions()
+
+    def _burn_in(self, spec: FaultSpec) -> None:
+        if spec not in self._burned_in:
+            self._burned_in.append(spec)
+
+    def _apply_hard(self, spec: FaultSpec) -> None:
+        """Re-assert a burned-in hard fault on a freshly (re)loaded machine."""
+        if spec.site is FaultSite.DEAD_PE:
+            self.dead_pes[spec.pe % self.cfg.num_pes] = True
+        elif spec.site is FaultSite.DEAD_LINK:
+            self.dead_links.append(self._reduction_range(spec))
+        elif spec.kind is FaultKind.STUCK_AT:
+            self._stuck.append(spec)
+
+    def attach(self, proc: "Processor") -> None:
+        """Bind to a (re)loaded processor; called from ``Processor.reset``.
+
+        Faults re-arm at their trigger cycles on every run; recovery
+        state (``masked_out``) and detection logs persist.
+        """
+        self.proc = proc
+        self._reset_runtime()
+        if self.parity:
+            proc.pe.enable_parity()
+
+    # -- exclusion bookkeeping -------------------------------------------------
+
+    def _refresh_exclusions(self) -> None:
+        """Recompute the responder-exclusion vector and write mask."""
+        alive = drop_link_subtrees(~self.masked_out, self.dead_links)
+        self._excluded = None if alive.all() else ~alive
+        if self.proc is not None:
+            suppressed = self.masked_out | self.dead_pes
+            self.proc.pe.fault_mask = (
+                ~suppressed if suppressed.any() else None)
+
+    def mask_out(self, pes: np.ndarray) -> None:
+        """Condemn PEs: exclude them from every responder set (recovery)."""
+        pes = np.asarray(pes)
+        if pes.dtype == bool:
+            self.masked_out |= pes
+        else:
+            self.masked_out[pes] = True
+        self._refresh_exclusions()
+
+    @property
+    def surviving(self) -> np.ndarray:
+        """Boolean vector of PEs still carrying work."""
+        return ~self.masked_out
+
+    # -- subtree geometry ------------------------------------------------------
+
+    def _broadcast_range(self, spec: FaultSpec) -> tuple[int, int]:
+        k = self.cfg.broadcast_arity
+        depth = self.cfg.broadcast_depth
+        size = min(k ** (spec.level % (depth + 1)), self.cfg.num_pes)
+        size = max(size, 1)
+        lo = (spec.pe % self.cfg.num_pes) // size * size
+        return lo, min(lo + size, self.cfg.num_pes)
+
+    def _reduction_range(self, spec: FaultSpec) -> tuple[int, int]:
+        depth = self.cfg.reduction_depth
+        size = max(1, min(2 ** (spec.level % (depth + 1)), self.cfg.num_pes))
+        lo = (spec.pe % self.cfg.num_pes) // size * size
+        return lo, min(lo + size, self.cfg.num_pes)
+
+    # -- injection -------------------------------------------------------------
+
+    def _log(self, spec: FaultSpec, cycle: int, note: str = "") -> None:
+        self.injection_log.append(
+            {"label": spec.label, "cycle": cycle, "note": note})
+        if self.proc is not None:
+            self.proc.stats.faults_injected += 1
+
+    def _flip_pe_reg(self, spec: FaultSpec) -> None:
+        pe = self.proc.pe
+        t = spec.thread % self.cfg.num_threads
+        r = _wrap_reg(spec.reg, registers.NUM_PARALLEL_REGS)
+        p = spec.pe % self.cfg.num_pes
+        pe.regs[t, r, p] ^= 1 << (spec.bit % self.cfg.word_width)
+
+    def _force_pe_reg(self, spec: FaultSpec) -> None:
+        pe = self.proc.pe
+        t = spec.thread % self.cfg.num_threads
+        r = _wrap_reg(spec.reg, registers.NUM_PARALLEL_REGS)
+        p = spec.pe % self.cfg.num_pes
+        bit = 1 << (spec.bit % self.cfg.word_width)
+        if spec.stuck_value:
+            pe.regs[t, r, p] |= bit
+        else:
+            pe.regs[t, r, p] &= ~bit
+
+    def _flip_pe_flag(self, spec: FaultSpec) -> None:
+        pe = self.proc.pe
+        t = spec.thread % self.cfg.num_threads
+        f = _wrap_reg(spec.reg, registers.NUM_FLAG_REGS)
+        p = spec.pe % self.cfg.num_pes
+        pe.flags[t, f, p] ^= True
+
+    def _force_pe_flag(self, spec: FaultSpec) -> None:
+        pe = self.proc.pe
+        t = spec.thread % self.cfg.num_threads
+        f = _wrap_reg(spec.reg, registers.NUM_FLAG_REGS)
+        pe.flags[t, f, spec.pe % self.cfg.num_pes] = bool(spec.stuck_value)
+
+    def _scalar_ctx(self, spec: FaultSpec):
+        return self.proc.threads[spec.thread % self.cfg.num_threads]
+
+    def _flip_scalar(self, spec: FaultSpec) -> None:
+        ctx = self._scalar_ctx(spec)
+        r = _wrap_reg(spec.reg, registers.NUM_SCALAR_REGS)
+        ctx.sregs[r] ^= 1 << (spec.bit % self.cfg.word_width)
+
+    def _force_scalar(self, spec: FaultSpec) -> None:
+        ctx = self._scalar_ctx(spec)
+        r = _wrap_reg(spec.reg, registers.NUM_SCALAR_REGS)
+        bit = 1 << (spec.bit % self.cfg.word_width)
+        if spec.stuck_value:
+            ctx.sregs[r] |= bit
+        else:
+            ctx.sregs[r] &= ~bit
+
+    def _flip_pc(self, spec: FaultSpec) -> None:
+        ctx = self._scalar_ctx(spec)
+        prog = self.proc.program
+        pc_bits = max(2, (len(prog.instructions) - 1).bit_length() + 1) \
+            if prog is not None else 8
+        ctx.pc ^= 1 << (spec.bit % pc_bits)
+
+    def _activate(self, spec: FaultSpec, cycle: int) -> None:
+        site, kind = spec.site, spec.kind
+        if kind is FaultKind.TRANSIENT and not self.transients_enabled:
+            return
+        if site is FaultSite.DEAD_PE:
+            self.dead_pes[spec.pe % self.cfg.num_pes] = True
+            self._burn_in(spec)
+            self._refresh_exclusions()
+        elif site is FaultSite.DEAD_LINK:
+            self.dead_links.append(self._reduction_range(spec))
+            self._burn_in(spec)
+            self._refresh_exclusions()
+        elif site is FaultSite.BROADCAST:
+            self._armed_broadcast.append(spec)
+        elif site is FaultSite.REDUCTION:
+            self._armed_reduction.append(spec)
+        elif kind is FaultKind.STUCK_AT:
+            self._stuck.append(spec)
+            self._burn_in(spec)
+            self._enforce_stuck(spec)
+        elif site is FaultSite.PE_REG:
+            self._flip_pe_reg(spec)
+        elif site is FaultSite.PE_FLAG:
+            self._flip_pe_flag(spec)
+        elif site is FaultSite.SCALAR_REG:
+            self._flip_scalar(spec)
+        elif site is FaultSite.THREAD_PC:
+            self._flip_pc(spec)
+        else:   # pragma: no cover - exhaustive over sites
+            raise AssertionError(spec)
+        if site not in (FaultSite.BROADCAST, FaultSite.REDUCTION):
+            self._log(spec, cycle)
+
+    def _enforce_stuck(self, spec: FaultSpec) -> None:
+        if spec.site is FaultSite.PE_REG:
+            self._force_pe_reg(spec)
+        elif spec.site is FaultSite.PE_FLAG:
+            self._force_pe_flag(spec)
+        elif spec.site is FaultSite.SCALAR_REG:
+            self._force_scalar(spec)
+
+    def _enforce_dead_pes(self) -> None:
+        """Dead PE cells read as garbage; every flag answers 'responder'."""
+        pe = self.proc.pe
+        dead = self.dead_pes
+        idx = np.flatnonzero(dead)
+        garbage = (_DEAD_PATTERN ^ (idx * 0x1D)) & self.word_mask
+        pe.regs[:, :, idx] = garbage
+        pe.flags[:, :, idx] = True
+
+    # -- hooks called by the core ---------------------------------------------
+
+    def begin_cycle(self, cycle: int) -> None:
+        """Fire/activate faults due at ``cycle``; re-assert hard faults."""
+        self.cycle = cycle
+        while self._pending and self._pending[0].cycle <= cycle:
+            self._activate(self._pending.pop(0), cycle)
+        for spec in self._stuck:
+            self._enforce_stuck(spec)
+        if self.dead_pes.any():
+            self._enforce_dead_pes()
+
+    def filter_broadcast(self, values: np.ndarray) -> np.ndarray:
+        """Corrupt a broadcast flit for the next armed broadcast fault.
+
+        The flit passes through one faulty tree node, so every PE in that
+        node's subtree sees the same flipped bit.
+        """
+        if not self._armed_broadcast:
+            return values
+        spec = self._armed_broadcast.pop(0)
+        lo, hi = self._broadcast_range(spec)
+        out = np.array(values, dtype=np.int64, copy=True)
+        out[lo:hi] ^= 1 << (spec.bit % self.cfg.word_width)
+        self._log(spec, self.cycle, note=f"hit pes [{lo},{hi})")
+        return out
+
+    def reduction_mask(self, mask: np.ndarray) -> np.ndarray:
+        """Drop dead-link subtrees and masked-out PEs from a responder set."""
+        if self._excluded is None:
+            return mask
+        return mask & ~self._excluded
+
+    def filter_reduction_value(self, value: int) -> int:
+        """Corrupt a scalar reduction result for an armed node fault."""
+        if not self._armed_reduction:
+            return value
+        spec = self._armed_reduction.pop(0)
+        self._log(spec, self.cycle)
+        return (value ^ (1 << (spec.bit % self.cfg.word_width))) \
+            & self.word_mask
+
+    # -- detection -------------------------------------------------------------
+
+    def record_parity_alarm(self, thread: int, reg: int,
+                            pes: np.ndarray) -> None:
+        """A read found stored parity disagreeing with the word (per PE)."""
+        if self.proc is not None:
+            self.proc.stats.fault_alarms += 1
+        key = ("parity", thread, reg, tuple(int(p) for p in pes))
+        if key in self._alarm_sites:
+            return
+        self._alarm_sites.add(key)
+        self.alarms.append({
+            "kind": "parity", "cycle": self.cycle, "thread": thread,
+            "reg": f"p{reg}", "pes": [int(p) for p in pes]})
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.alarms)

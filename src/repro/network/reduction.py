@@ -131,6 +131,25 @@ def any_responders(flags: np.ndarray, mask: np.ndarray) -> int:
     return 1 if count_responders(flags, mask) else 0
 
 
+def drop_link_subtrees(mask: np.ndarray,
+                       dead_links: list[tuple[int, int]]) -> np.ndarray:
+    """Responder mask with dead reduction-link subtrees removed.
+
+    A failed link at level L of the binary combining tree silently
+    disconnects an aligned window of ``2**L`` leaves: the node above it
+    sees only identity values from that side.  Used by the fault plane
+    (:mod:`repro.faults`) to model permanent dead-link faults; also the
+    mechanism behind mask-out degradation, where condemned PEs simply
+    stop being responders.
+    """
+    if not dead_links:
+        return mask
+    out = np.array(mask, dtype=bool, copy=True)
+    for lo, hi in dead_links:
+        out[lo:hi] = False
+    return out
+
+
 def resolve_first(flags: np.ndarray, mask: np.ndarray) -> np.ndarray:
     """Multiple response resolver: boolean vector selecting the first
     responder (lowest-numbered active PE with its flag set).

@@ -87,11 +87,29 @@ class PipelinedBroadcastTree:
         self.arity = arity
         self.latency = broadcast_latency(num_pes, arity)
         self._stages: list[object | None] = [None] * self.latency
+        # level -> transform applied to every value entering that stage
+        # register; models a faulty tree node (see repro.faults).
+        self._node_faults: dict[int, Callable[[object], object]] = {}
+
+    def inject_node_fault(self, level: int,
+                          transform: Callable[[object], object]) -> None:
+        """Corrupt every flit passing the node register at ``level``."""
+        if not 0 <= level < self.latency:
+            raise ValueError(
+                f"level {level} out of range (tree has {self.latency} stages)")
+        self._node_faults[level] = transform
+
+    def clear_node_faults(self) -> None:
+        self._node_faults.clear()
 
     def tick(self, value: object | None = None) -> object | None:
         out = self._stages[-1]
         self._stages[1:] = self._stages[:-1]
         self._stages[0] = value
+        if self._node_faults:
+            for level, transform in self._node_faults.items():
+                if self._stages[level] is not None:
+                    self._stages[level] = transform(self._stages[level])
         return out
 
     @property
@@ -117,6 +135,29 @@ class PipelinedReductionTree:
         self.identity = identity
         self.latency = reduction_latency(num_pes)
         self._stages: list[np.ndarray | None] = [None] * self.latency
+        # level -> transform over the partial-result vector at that
+        # stage; models a faulty combining node (see repro.faults).
+        self._node_faults: dict[
+            int, Callable[[np.ndarray], np.ndarray]] = {}
+
+    def inject_node_fault(self, level: int,
+                          transform: Callable[[np.ndarray], np.ndarray],
+                          ) -> None:
+        """Corrupt the partial results stored at stage ``level``."""
+        if not 0 <= level < self.latency:
+            raise ValueError(
+                f"level {level} out of range (tree has {self.latency} stages)")
+        self._node_faults[level] = transform
+
+    def clear_node_faults(self) -> None:
+        self._node_faults.clear()
+
+    def _faulted(self, level: int,
+                 values: np.ndarray | None) -> np.ndarray | None:
+        fault = self._node_faults.get(level)
+        if fault is None or values is None:
+            return values
+        return np.asarray(fault(values), dtype=np.int64)
 
     def _combine_level(self, values: np.ndarray) -> np.ndarray:
         n = values.shape[0]
@@ -132,8 +173,8 @@ class PipelinedReductionTree:
         done = self._stages[-1]
         for i in range(self.latency - 1, 0, -1):
             prev = self._stages[i - 1]
-            self._stages[i] = (None if prev is None
-                               else self._combine_level(prev))
+            self._stages[i] = self._faulted(
+                i, None if prev is None else self._combine_level(prev))
         if values is None:
             self._stages[0] = None
         else:
@@ -141,7 +182,7 @@ class PipelinedReductionTree:
             if vec.shape != (self.num_pes,):
                 raise ValueError(
                     f"expected {self.num_pes} leaf values, got {vec.shape}")
-            self._stages[0] = self._combine_level(vec)
+            self._stages[0] = self._faulted(0, self._combine_level(vec))
         if done is None:
             return None
         result = done

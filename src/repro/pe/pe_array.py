@@ -25,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.isa import registers
+from repro.util import bitops
 from repro.util.bitops import mask_for_width
 
 
@@ -52,6 +53,13 @@ class PEArray:
         self.flags = np.zeros(
             (num_threads, registers.NUM_FLAG_REGS, num_pes), dtype=bool)
         self.lmem = np.zeros((num_pes, lmem_words), dtype=np.int64)
+        # Fault-tolerance hooks (see repro.faults).  ``fault_mask`` marks
+        # PEs whose writes and memory accesses are suppressed (dead or
+        # masked-out); ``parity`` is the per-word parity plane updated on
+        # every architectural write.  Both stay None on a healthy
+        # machine, so the hot path pays only an ``is None`` check.
+        self.fault_mask: np.ndarray | None = None
+        self.parity: np.ndarray | None = None
         self._pin_constants()
 
     # -- constants -----------------------------------------------------------
@@ -59,6 +67,32 @@ class PEArray:
     def _pin_constants(self) -> None:
         self.regs[:, registers.ZERO_REG, :] = 0
         self.flags[:, registers.ALWAYS_FLAG, :] = True
+
+    # -- fault-tolerance hooks -------------------------------------------------
+
+    def _effective(self, mask: np.ndarray) -> np.ndarray:
+        """Suppress dead/masked-out PEs from a write or access mask."""
+        if self.fault_mask is None:
+            return mask
+        return mask & self.fault_mask
+
+    def enable_parity(self) -> None:
+        """Allocate the register-file parity plane (idempotent).
+
+        Parity is maintained by :meth:`write_reg` and checked on reads by
+        the fault-aware executor; a fault injector flipping bits behind
+        the write port leaves stored parity stale, which is exactly how
+        hardware parity catches single-event upsets.
+        """
+        if self.parity is None:
+            self.parity = bitops.np_parity(self.regs, self.word_width)
+
+    def parity_mismatch(self, thread: int, reg: int) -> np.ndarray:
+        """Per-PE parity check of one register row (False when clean)."""
+        if self.parity is None:
+            return np.zeros(self.num_pes, dtype=bool)
+        fresh = bitops.np_parity(self.regs[thread, reg], self.word_width)
+        return fresh != self.parity[thread, reg]
 
     # -- register access -------------------------------------------------------
 
@@ -71,9 +105,13 @@ class PEArray:
         """Masked write: only PEs where ``mask`` is True take the value."""
         if reg == registers.ZERO_REG:
             return
+        mask = self._effective(mask)
         row = self.regs[thread, reg]
-        np.copyto(row, np.bitwise_and(values.astype(np.int64), self.word_mask),
-                  where=mask)
+        wrapped = np.bitwise_and(values.astype(np.int64), self.word_mask)
+        np.copyto(row, wrapped, where=mask)
+        if self.parity is not None:
+            np.copyto(self.parity[thread, reg],
+                      bitops.np_parity(wrapped, self.word_width), where=mask)
 
     def read_flag(self, thread: int, flag: int) -> np.ndarray:
         """Boolean vector (one element per PE) of flag register ``flag``."""
@@ -84,7 +122,8 @@ class PEArray:
         """Masked flag write."""
         if flag == registers.ALWAYS_FLAG:
             return
-        np.copyto(self.flags[thread, flag], values.astype(bool), where=mask)
+        np.copyto(self.flags[thread, flag], values.astype(bool),
+                  where=self._effective(mask))
 
     # -- local memory -----------------------------------------------------------
 
@@ -102,6 +141,7 @@ class PEArray:
 
         Inactive PEs return 0 (their result is never written back anyway).
         """
+        mask = self._effective(mask)
         self._check_addresses(addresses, mask, "load")
         safe = np.where(mask, addresses, 0)
         values = self.lmem[np.arange(self.num_pes), safe]
@@ -110,6 +150,7 @@ class PEArray:
     def store(self, addresses: np.ndarray, values: np.ndarray,
               mask: np.ndarray) -> None:
         """Per-PE local-memory store (masked)."""
+        mask = self._effective(mask)
         self._check_addresses(addresses, mask, "store")
         pes = np.arange(self.num_pes)[mask]
         self.lmem[pes, addresses[mask]] = (
@@ -138,4 +179,6 @@ class PEArray:
         self.regs.fill(0)
         self.flags.fill(False)
         self.lmem.fill(0)
+        if self.parity is not None:
+            self.parity.fill(False)
         self._pin_constants()

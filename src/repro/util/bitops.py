@@ -115,3 +115,19 @@ def np_saturate_signed(values: np.ndarray, width: int) -> np.ndarray:
     """Vectorized clamp of signed int64 values, returned as unsigned patterns."""
     clamped = np.clip(values, min_signed(width), max_signed(width))
     return np_to_unsigned(clamped, width)
+
+
+def np_parity(values: np.ndarray, width: int) -> np.ndarray:
+    """Vectorized even-parity bit of ``width``-bit words (bool output).
+
+    Used by the PE register-file parity plane (fault detection): the
+    stored parity of a word is the XOR of its bits, so any single-bit
+    upset makes stored and recomputed parity disagree.
+    """
+    folded = np_wrap(values, width)
+    shift = 32
+    while shift >= 1:
+        if width > shift:
+            folded ^= folded >> shift
+        shift >>= 1
+    return (folded & 1).astype(bool)

@@ -2,6 +2,7 @@
 
 from hypothesis import strategies as st
 
+from repro.core.config import MTMode, ProcessorConfig
 from repro.isa import registers as regs
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import ALL_MNEMONICS, Format, ImmKind, OPCODES
@@ -52,3 +53,24 @@ def instructions(draw):
 # Strategies for PE-vector data.
 pe_values = st.lists(st.integers(0, (1 << 16) - 1), min_size=1, max_size=64)
 widths = st.sampled_from([8, 16, 32])
+
+
+@st.composite
+def machine_configs(draw, max_pes=16):
+    """Small but shape-diverse machine configurations.
+
+    Keeps PE counts and local memories tiny so property tests that run
+    whole programs per example stay fast.
+    """
+    num_threads = draw(st.sampled_from([1, 2, 4]))
+    return ProcessorConfig(
+        num_pes=draw(st.integers(1, max_pes)),
+        num_threads=num_threads,
+        word_width=draw(st.sampled_from([8, 16])),
+        mt_mode=MTMode.SINGLE if num_threads == 1 else MTMode.FINE,
+        broadcast_arity=draw(st.sampled_from([2, 4])),
+        pipelined_broadcast=draw(st.booleans()),
+        pipelined_reduction=draw(st.booleans()),
+        lmem_words=64,
+        scalar_mem_words=256,
+    )

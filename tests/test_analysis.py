@@ -450,7 +450,7 @@ worker:
     def test_all_checks_registry(self):
         assert set(ALL_CHECKS) == {
             "uninitialized-read", "unreachable-code", "mask-scope",
-            "thread-context", "scalar-mem-race"}
+            "thread-context", "scalar-mem-race", "unguarded-reduction"}
 
 
 # ---------------------------------------------------------------------------
