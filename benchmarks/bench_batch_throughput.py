@@ -1,0 +1,82 @@
+"""BENCH_serve — batch-execution throughput of the serving subsystem.
+
+Host-level companion to H1 (simulator throughput): measures jobs/sec
+for a batch of library-kernel simulations under the three serving
+regimes the ``repro.serve`` subsystem adds —
+
+* **cold**      serial execution into an empty cache,
+* **warm**      the same batch answered from the on-disk result cache,
+* **parallel**  cold execution fanned out over a process pool.
+
+Asserts the properties the serving layer guarantees: a warm batch does
+zero simulations and is measurably faster than the cold run, its results
+are bit-identical to the cold run's, and a parallel batch reproduces the
+serial results exactly.  Archived as ``BENCH_serve.json`` when
+``REPRO_RESULTS_DIR`` is set (a trajectory point per run).
+"""
+
+import shutil
+import tempfile
+
+from repro.bench import Experiment
+from repro.core import ProcessorConfig
+from repro.serve import BatchRunner, Job, ResultCache
+
+KERNELS = ("count_matches", "histogram", "vector_mac", "string_match",
+           "assoc_max_extract", "skyline_2d")
+PARALLEL_JOBS = 4
+
+
+def make_jobs() -> list:
+    jobs = []
+    for kernel in KERNELS:
+        for pes in (16, 32):
+            jobs.append(Job(name=f"{kernel}-p{pes}", kernel=kernel,
+                            config=ProcessorConfig(num_pes=pes,
+                                                   num_threads=8)))
+    return jobs
+
+
+def test_batch_throughput(once):
+    jobs = make_jobs()
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    par_dir = tempfile.mkdtemp(prefix="repro-bench-cache-par-")
+    try:
+        def run_cold():
+            return BatchRunner(cache=ResultCache(cache_dir=cache_dir)).run(jobs)
+
+        cold = once(run_cold)
+        # Fresh cache object, same directory: every hit is tier-2 (disk).
+        warm = BatchRunner(cache=ResultCache(cache_dir=cache_dir)).run(jobs)
+        parallel = BatchRunner(cache=ResultCache(cache_dir=par_dir),
+                               jobs=PARALLEL_JOBS).run(jobs)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+        shutil.rmtree(par_dir, ignore_errors=True)
+
+    assert cold.ok and warm.ok and parallel.ok
+    # The cache must serve the whole warm batch, bit-identically.
+    assert warm.computed == 0
+    assert warm.cache_hit_rate >= 0.9
+    assert [r.snapshot for r in warm.results] == \
+        [r.snapshot for r in cold.results]
+    # Parallel execution is an implementation detail, not a semantics
+    # change: same snapshots in the same order.
+    assert [r.snapshot for r in parallel.results] == \
+        [r.snapshot for r in cold.results]
+    # The acceptance bar: reuse beats recomputation by a clear margin.
+    assert warm.elapsed_s < cold.elapsed_s
+
+    exp = Experiment("BENCH_serve",
+                     f"batch serving throughput ({len(jobs)} kernel jobs)")
+    t = exp.new_table(("regime", "elapsed s", "jobs/s", "simulated",
+                       "cache served"))
+    for label, report in (("cold serial", cold), ("warm (disk cache)", warm),
+                          (f"parallel x{PARALLEL_JOBS}", parallel)):
+        t.add_row(label, round(report.elapsed_s, 4),
+                  round(len(report.results) / max(report.elapsed_s, 1e-9), 1),
+                  report.computed, report.cache_served)
+    exp.finding(f"warm batch speedup over cold: "
+                f"{cold.elapsed_s / max(warm.elapsed_s, 1e-9):.1f}x "
+                f"(zero simulations, all {len(jobs)} jobs from the disk tier)")
+    exp.report()

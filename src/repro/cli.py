@@ -7,14 +7,19 @@ Commands
 ``run``      run a program on the cycle-accurate simulator
 ``lint``     static hazard/dataflow analysis of a program
 ``faultsim`` seeded fault-injection campaign over a library kernel
+``batch``    run a JSON jobs file through the cache + worker pool
+``serve``    long-lived JSON-lines simulation service on stdin/stdout
 ``info``     machine configuration, resource usage, device fit
 ``isa``      print the instruction-set reference
 
 Examples::
 
     python -m repro run program.s --pes 64 --threads 16 --trace
+    python -m repro run program.s --json
     python -m repro lint program.s --strict --json
-    python -m repro faultsim --kernel count_matches --faults 100 --seed 0
+    python -m repro faultsim --kernel count_matches --faults 100 --jobs 4
+    python -m repro batch jobs.json --jobs 4 --cache-dir /tmp/repro-cache
+    python -m repro serve --jobs 4
     python -m repro info --pes 16 --width 8 --device EP2C35
     python -m repro asm kernel.s -o kernel.hex
 """
@@ -143,6 +148,15 @@ def cmd_run(args: argparse.Namespace) -> int:
     except SimulationError as exc:
         print(f"simulation error: {exc}", file=sys.stderr)
         return 1
+
+    if args.json:
+        from repro.serve.snapshot import ResultSnapshot
+
+        snap = ResultSnapshot.from_result(result)
+        payload = {"machine": cfg.describe(), "file": args.file,
+                   **snap.to_json()}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
 
     print(f"machine: {cfg.describe()}")
     print(result.stats.render())
@@ -283,7 +297,7 @@ def cmd_faultsim(args: argparse.Namespace) -> int:
         report = run_campaign(
             args.kernel, cfg, faults=args.faults, seed=args.seed,
             sites=sites, parity=not args.no_parity,
-            watchdog_factor=args.watchdog)
+            watchdog_factor=args.watchdog, jobs=args.jobs)
     except ValueError as exc:
         print(f"faultsim: {exc}", file=sys.stderr)
         return 1
@@ -295,6 +309,64 @@ def cmd_faultsim(args: argparse.Namespace) -> int:
     else:
         print(text)
     return 0
+
+
+def _build_cache(args: argparse.Namespace):
+    from repro.serve.cache import ResultCache, default_cache_dir
+
+    if getattr(args, "no_cache", False):
+        return ResultCache.disabled()
+    cache_dir = args.cache_dir or default_cache_dir()
+    return ResultCache(cache_dir=cache_dir)
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.serve.batch import BatchRunner
+    from repro.serve.jobs import JobError, jobs_from_json
+
+    path = pathlib.Path(args.jobs_file)
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as exc:
+        print(f"batch: cannot read {path}: {exc}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as exc:
+        print(f"batch: {path} is not valid JSON: {exc}", file=sys.stderr)
+        return 1
+    try:
+        jobs = jobs_from_json(payload, base_dir=path.parent)
+    except JobError as exc:
+        print(f"batch: {exc}", file=sys.stderr)
+        return 1
+    runner = BatchRunner(cache=_build_cache(args), jobs=args.jobs)
+    try:
+        report = runner.run(jobs)
+    except JobError as exc:
+        print(f"batch: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(report.to_json(full=args.full), indent=2,
+                         sort_keys=True))
+    else:
+        print(report.render())
+    if not report.ok:
+        failed = [r.name for r in report.results if not r.ok]
+        if not args.json:
+            print(f"batch: {len(failed)} job(s) failed: "
+                  f"{', '.join(failed)}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.batch import BatchRunner
+    from repro.serve.service import serve_forever
+
+    runner = BatchRunner(cache=_build_cache(args), jobs=args.jobs)
+    return serve_forever(runner=runner, max_pending=args.max_pending,
+                         full_results=args.full)
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -370,6 +442,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--max-cycles", type=int, default=None)
     p_run.add_argument("--lmem", action="append", metavar="COL=V1,V2,...",
                        help="initialize a PE local-memory column")
+    p_run.add_argument("--json", action="store_true",
+                       help="emit a machine-readable result (cycles, stall "
+                            "breakdown, scalar/PE state) instead of tables")
     p_run.set_defaults(func=cmd_run)
 
     p_lint = sub.add_parser(
@@ -409,7 +484,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_fault.add_argument("--json", action="store_true",
                          help="emit the machine-readable JSON report")
     p_fault.add_argument("-o", "--output", help="write the report here")
+    p_fault.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for the per-fault runs "
+                              "(default 1 = serial; output is identical)")
     p_fault.set_defaults(func=cmd_faultsim)
+
+    p_batch = sub.add_parser(
+        "batch", help="run a JSON jobs file through the cache + pool")
+    p_batch.add_argument("jobs_file", metavar="jobs.json",
+                         help="list of job objects (see docs/SERVE.md)")
+    p_batch.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (default 1 = serial)")
+    p_batch.add_argument("--cache-dir", default=None,
+                         help="on-disk result cache location "
+                              "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")
+    p_batch.add_argument("--no-cache", action="store_true",
+                         help="skip the persistent result cache")
+    p_batch.add_argument("--json", action="store_true",
+                         help="emit the machine-readable batch report")
+    p_batch.add_argument("--full", action="store_true",
+                         help="include complete result snapshots in --json")
+    p_batch.set_defaults(func=cmd_batch)
+
+    p_serve = sub.add_parser(
+        "serve", help="JSON-lines simulation service on stdin/stdout")
+    p_serve.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (default 1)")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="on-disk result cache location "
+                              "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="skip the persistent result cache")
+    p_serve.add_argument("--max-pending", type=int, default=256,
+                         help="refuse batches larger than this (default 256)")
+    p_serve.add_argument("--full", action="store_true",
+                         help="include complete result snapshots in replies")
+    p_serve.set_defaults(func=cmd_serve)
 
     p_info = sub.add_parser("info", help="machine/resource summary")
     _add_machine_args(p_info)

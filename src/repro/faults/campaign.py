@@ -40,6 +40,7 @@ from repro.faults.spec import FaultKind, FaultSite, FaultSpec, random_fault_spec
 from repro.pe.pe_array import MemoryFault
 from repro.programs.kernels import ALL_KERNEL_BUILDERS
 from repro.programs.runner import _load_lmem, extract_outputs, run_kernel
+from repro.serve.pool import map_ordered
 from repro.util.tables import format_table
 
 OUTCOMES = ("masked", "detected", "sdc", "crash", "hang")
@@ -152,14 +153,62 @@ def _classify(spec: FaultSpec, plane: FaultPlane, proc: Processor,
     return "masked", ""
 
 
+@dataclass(frozen=True)
+class _FaultTask:
+    """Picklable unit of campaign work: one fault against one kernel run.
+
+    Carries everything a worker process needs (the assembled program,
+    machine config, kernel image/oracle, golden outputs) so the parallel
+    path computes exactly the same pure function as the serial loop.
+    """
+
+    spec: FaultSpec
+    program: object
+    cfg: ProcessorConfig
+    kernel: object
+    parity: bool
+    watchdog: int
+    golden_out: dict
+
+
+def _run_one_fault(task: _FaultTask) -> FaultResult:
+    """Inject one fault on a fresh machine and classify the outcome."""
+    spec, cfg, kernel = task.spec, task.cfg, task.kernel
+    plane = FaultPlane([spec], cfg, parity=task.parity)
+    proc = Processor(cfg, faults=plane)
+    proc.load(task.program)
+    _load_lmem(proc.pe, kernel, cfg.num_pes)
+    try:
+        result = proc.run(max_cycles=task.watchdog)
+    except SimTimeout as exc:
+        return FaultResult(spec, "hang", str(exc),
+                           injections=len(plane.injection_log))
+    except (SimulationError, *_CRASHES) as exc:
+        return FaultResult(spec, "crash", f"{type(exc).__name__}: {exc}",
+                           injections=len(plane.injection_log))
+    measured = extract_outputs(kernel, result)
+    fired = len(plane.injection_log)
+    outcome, detail = _classify(spec, plane, proc, measured,
+                                task.golden_out)
+    return FaultResult(spec, outcome, detail, cycles=result.cycles,
+                       injections=fired)
+
+
 def run_campaign(kernel_name: str,
                  cfg: ProcessorConfig | None = None,
                  faults: int = 100,
                  seed: int = 0,
                  sites: list[FaultSite] | None = None,
                  parity: bool = True,
-                 watchdog_factor: int = 4) -> CampaignReport:
-    """Run a seeded fault-injection campaign over one library kernel."""
+                 watchdog_factor: int = 4,
+                 jobs: int = 1) -> CampaignReport:
+    """Run a seeded fault-injection campaign over one library kernel.
+
+    ``jobs`` > 1 fans the per-fault runs out over a process pool
+    (``repro.serve.pool``); each fault is an independent simulation and
+    results are reassembled in spec order, so the report — including its
+    JSON rendering — is byte-identical to the serial campaign.
+    """
     if kernel_name not in ALL_KERNEL_BUILDERS:
         raise ValueError(f"unknown kernel {kernel_name!r}; choose from "
                          f"{', '.join(sorted(ALL_KERNEL_BUILDERS))}")
@@ -181,26 +230,7 @@ def run_campaign(kernel_name: str,
                 "num_threads": cfg.num_threads,
                 "parity": parity, "watchdog_factor": watchdog_factor})
 
-    for spec in specs:
-        plane = FaultPlane([spec], cfg, parity=parity)
-        proc = Processor(cfg, faults=plane)
-        proc.load(program)
-        _load_lmem(proc.pe, kernel, cfg.num_pes)
-        try:
-            result = proc.run(max_cycles=watchdog)
-        except SimTimeout as exc:
-            report.results.append(FaultResult(
-                spec, "hang", str(exc),
-                injections=len(plane.injection_log)))
-            continue
-        except (SimulationError, *_CRASHES) as exc:
-            report.results.append(FaultResult(
-                spec, "crash", f"{type(exc).__name__}: {exc}",
-                injections=len(plane.injection_log)))
-            continue
-        measured = extract_outputs(kernel, result)
-        fired = len(plane.injection_log)
-        outcome, detail = _classify(spec, plane, proc, measured, golden_out)
-        report.results.append(FaultResult(
-            spec, outcome, detail, cycles=result.cycles, injections=fired))
+    tasks = [_FaultTask(spec, program, cfg, kernel, parity, watchdog,
+                        golden_out) for spec in specs]
+    report.results.extend(map_ordered(_run_one_fault, tasks, jobs=jobs))
     return report

@@ -1,0 +1,61 @@
+"""Simulation at scale: content-addressed result cache + batch service.
+
+The host-level counterpart of the paper's multithreading argument: keep
+the machine (here, the host CPU) busy by overlapping independent work.
+``repro.serve`` gives every simulation a deterministic content identity,
+memoizes results in a two-tier cache, fans batches out over a process
+pool, and fronts it all with a ``BatchRunner`` API plus the
+``repro batch`` / ``repro serve`` CLI (see docs/SERVE.md).
+"""
+
+from repro.serve.batch import BatchReport, BatchRunner, JobResult
+from repro.serve.cache import CacheStats, ResultCache, default_cache_dir
+from repro.serve.identity import (
+    CACHE_SCHEMA_VERSION,
+    canonical_json,
+    config_fingerprint,
+    job_key,
+    program_fingerprint,
+)
+from repro.serve.jobs import (
+    Job,
+    JobError,
+    PreparedJob,
+    config_from_json,
+    jobs_from_json,
+)
+from repro.serve.pool import (
+    JobOutcome,
+    execute_prepared,
+    map_ordered,
+    run_prepared,
+)
+from repro.serve.service import ServeSession, serve_forever
+from repro.serve.snapshot import ResultSnapshot, stats_to_json
+
+__all__ = [
+    "BatchReport",
+    "BatchRunner",
+    "JobResult",
+    "CacheStats",
+    "ResultCache",
+    "default_cache_dir",
+    "CACHE_SCHEMA_VERSION",
+    "canonical_json",
+    "config_fingerprint",
+    "job_key",
+    "program_fingerprint",
+    "Job",
+    "JobError",
+    "PreparedJob",
+    "config_from_json",
+    "jobs_from_json",
+    "JobOutcome",
+    "execute_prepared",
+    "map_ordered",
+    "run_prepared",
+    "ServeSession",
+    "serve_forever",
+    "ResultSnapshot",
+    "stats_to_json",
+]

@@ -1,0 +1,188 @@
+"""Two-tier content-addressed result cache.
+
+Tier 1 is an in-process LRU of :class:`~repro.serve.snapshot.ResultSnapshot`
+objects; tier 2 is an on-disk pickle store laid out by key prefix::
+
+    <cache_dir>/<key[:2]>/<key>.pkl
+
+Keys are :func:`~repro.serve.identity.job_key` digests, so the store is
+content-addressed and self-invalidating: anything that changes the
+computation (program bits, config, inputs, fault, schema version)
+changes the key, and stale entries simply stop being addressed.
+
+Robustness rules:
+
+* disk writes are atomic (temp file + ``os.replace``) so a killed worker
+  can never publish a torn entry;
+* disk reads tolerate corruption — an unreadable or wrong-typed entry is
+  counted, deleted best-effort, and reported as a miss, which makes the
+  cache strictly an optimization: the caller recomputes and overwrites;
+* all traffic is counted in :class:`CacheStats` so batch reports can
+  show exactly where results came from.
+
+The default store location is ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``;
+pass ``cache_dir=None`` for a memory-only cache (used by tests and the
+``--no-cache`` CLI paths via ``ResultCache.disabled()``).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import pickle
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.serve.snapshot import ResultSnapshot
+
+_READ_ERRORS = (pickle.UnpicklingError, EOFError, OSError, AttributeError,
+                ImportError, IndexError, MemoryError, TypeError, ValueError)
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "repro"
+
+
+@dataclass
+class CacheStats:
+    """Traffic counters for one :class:`ResultCache` instance."""
+
+    mem_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    corrupt_entries: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.mem_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_json(self) -> dict:
+        return {"mem_hits": self.mem_hits, "disk_hits": self.disk_hits,
+                "misses": self.misses, "stores": self.stores,
+                "evictions": self.evictions,
+                "corrupt_entries": self.corrupt_entries,
+                "hit_rate": round(self.hit_rate, 6)}
+
+
+class ResultCache:
+    """In-memory LRU over an optional on-disk content-addressed store."""
+
+    def __init__(self, cache_dir: pathlib.Path | str | None = None,
+                 mem_entries: int = 256) -> None:
+        if mem_entries < 1:
+            raise ValueError("mem_entries must be >= 1")
+        self.cache_dir = (pathlib.Path(cache_dir)
+                          if cache_dir is not None else None)
+        self.mem_entries = mem_entries
+        self.stats = CacheStats()
+        self._mem: OrderedDict[str, ResultSnapshot] = OrderedDict()
+
+    @classmethod
+    def disabled(cls) -> "ResultCache":
+        """A minimal memory-only cache (no disk tier)."""
+        return cls(cache_dir=None, mem_entries=1)
+
+    def _path(self, key: str) -> pathlib.Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / key[:2] / f"{key}.pkl"
+
+    # -- lookups -------------------------------------------------------------
+
+    def get(self, key: str) -> ResultSnapshot | None:
+        """Return the cached snapshot for ``key``, or None on a miss."""
+        return self.lookup(key)[0]
+
+    def lookup(self, key: str) -> tuple[ResultSnapshot | None, str]:
+        """Like :meth:`get` but also names the serving tier.
+
+        Returns ``(snapshot, tier)`` with tier one of ``"memory"``,
+        ``"disk"``, ``"miss"``.
+        """
+        hit = self._mem.get(key)
+        if hit is not None:
+            self._mem.move_to_end(key)
+            self.stats.mem_hits += 1
+            return hit, "memory"
+        if self.cache_dir is not None:
+            snap = self._read_disk(key)
+            if snap is not None:
+                self.stats.disk_hits += 1
+                self._remember(key, snap)
+                return snap, "disk"
+        self.stats.misses += 1
+        return None, "miss"
+
+    def _read_disk(self, key: str) -> ResultSnapshot | None:
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            with open(path, "rb") as fh:
+                snap = pickle.load(fh)
+            if not isinstance(snap, ResultSnapshot):
+                raise TypeError(f"cache entry is {type(snap).__name__}")
+        except _READ_ERRORS:
+            # Torn/garbage/foreign entry: drop it and recompute.
+            self.stats.corrupt_entries += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        return snap
+
+    # -- stores --------------------------------------------------------------
+
+    def put(self, key: str, snap: ResultSnapshot) -> None:
+        """Store a snapshot under ``key`` in both tiers."""
+        self._remember(key, snap)
+        if self.cache_dir is not None:
+            self._write_disk(key, snap)
+        self.stats.stores += 1
+
+    def _remember(self, key: str, snap: ResultSnapshot) -> None:
+        self._mem[key] = snap
+        self._mem.move_to_end(key)
+        while len(self._mem) > self.mem_entries:
+            self._mem.popitem(last=False)
+            self.stats.evictions += 1
+
+    def _write_disk(self, key: str, snap: ResultSnapshot) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(snap, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError:
+            # Disk tier is best-effort: a failed publish must not fail
+            # the batch, the result is still returned from memory.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # -- maintenance ---------------------------------------------------------
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory tier (disk entries survive)."""
+        self._mem.clear()
+
+    def __len__(self) -> int:
+        return len(self._mem)

@@ -1,0 +1,95 @@
+"""Deterministic job identity: canonical content hashes for simulations.
+
+A simulation is a pure function of ``(assembled Program, ProcessorConfig,
+PE local-memory image, optional FaultSpec, cycle limit)`` — the simulator
+draws no randomness and reads no ambient state.  That purity is what
+makes result caching sound: two jobs with the same :func:`job_key` are
+*the same computation* and must produce bit-identical results.
+
+The key is a SHA-256 over a canonical JSON payload:
+
+* the program's encoded machine words, ``.data`` image and entry point
+  (exactly the bits the hardware would see — symbols and source maps are
+  debug metadata and deliberately excluded);
+* every :class:`~repro.core.config.ProcessorConfig` field, with enums
+  flattened to their values;
+* the local-memory columns, sorted by column index;
+* the fault spec (minus its display label), if any;
+* the effective cycle limit (it changes where ``SimTimeout`` fires);
+* :data:`CACHE_SCHEMA_VERSION`, so bumping the snapshot schema retires
+  every previously cached entry at the key level — stale entries are
+  simply never addressed again.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+
+from repro.asm.program import Program
+from repro.core.config import ProcessorConfig
+from repro.faults.spec import FaultSpec
+
+# Bump when the snapshot layout or simulator-visible semantics change in
+# a way that makes old cached results unusable.
+CACHE_SCHEMA_VERSION = 1
+
+
+def canonical_json(payload) -> str:
+    """Render ``payload`` as minimal, key-sorted JSON (hash-stable)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def config_fingerprint(cfg: ProcessorConfig) -> dict:
+    """All config fields as a JSON-safe dict, enums flattened to values."""
+    out = {}
+    for f in dataclasses.fields(cfg):
+        value = getattr(cfg, f.name)
+        out[f.name] = value.value if isinstance(value, enum.Enum) else value
+    return out
+
+
+def program_fingerprint(program: Program) -> dict:
+    """The execution-relevant bits of an assembled program."""
+    return {
+        "words": program.encode(),
+        "data": [int(w) for w in program.data],
+        "entry": program.entry,
+    }
+
+
+def lmem_fingerprint(lmem: dict | None) -> dict:
+    """Local-memory columns as ``{column: [values]}`` with int cells."""
+    if not lmem:
+        return {}
+    return {str(int(col)): [int(v) for v in values]
+            for col, values in sorted(lmem.items(), key=lambda kv: int(kv[0]))}
+
+
+def fault_fingerprint(fault: FaultSpec | None) -> dict | None:
+    """Fault coordinates; the display label does not affect behaviour."""
+    if fault is None:
+        return None
+    payload = fault.to_json()
+    payload.pop("label", None)
+    return payload
+
+
+def job_key(program: Program, cfg: ProcessorConfig,
+            lmem: dict | None = None,
+            fault: FaultSpec | None = None,
+            max_cycles: int | None = None,
+            schema_version: int = CACHE_SCHEMA_VERSION) -> str:
+    """Content hash identifying one simulation. Equal key == same result."""
+    payload = {
+        "schema": schema_version,
+        "program": program_fingerprint(program),
+        "config": config_fingerprint(cfg),
+        "lmem": lmem_fingerprint(lmem),
+        "fault": fault_fingerprint(fault),
+        "max_cycles": max_cycles,
+    }
+    digest = hashlib.sha256(canonical_json(payload).encode("utf-8"))
+    return digest.hexdigest()

@@ -1,0 +1,131 @@
+"""Multiprocess execution of prepared simulation jobs.
+
+The paper's core argument is that fine-grain multithreading keeps a
+machine busy by overlapping independent work under latency; this module
+applies the same idea at the host level: independent simulations are
+embarrassingly parallel, so a batch of prepared jobs fans out over a
+``concurrent.futures.ProcessPoolExecutor``.
+
+Guarantees, in order of importance:
+
+* **determinism** — results come back in input order regardless of
+  worker scheduling, and each worker computes a pure function of its
+  (picklable) payload, so a parallel batch is byte-identical to the
+  serial one;
+* **dedup** — callers are expected to submit unique keys (the batch
+  runner coalesces duplicates before reaching the pool);
+* **timeouts stay inside the simulator** — per-job limits map onto the
+  existing ``max_cycles`` watchdog, so a hung *program* surfaces as a
+  deterministic :class:`~repro.core.processor.SimTimeout` outcome, not a
+  wall-clock race;
+* **bounded retries** — if the pool itself breaks (a worker process is
+  OOM-killed or segfaults), the missing keys are retried on a fresh pool
+  up to ``retries`` times, then executed serially in-process as a last
+  resort so one bad worker cannot fail a whole campaign.
+
+``jobs <= 1`` runs everything in-process with no executor, which is the
+reference path the parallel paths must match.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.processor import Processor, SimTimeout, SimulationError
+from repro.serve.jobs import PreparedJob
+from repro.serve.snapshot import ResultSnapshot
+
+# Outcome status values, in severity order.
+STATUS_OK = "ok"
+STATUS_TIMEOUT = "timeout"
+STATUS_ERROR = "error"
+
+
+@dataclass
+class JobOutcome:
+    """What one simulation produced (picklable; crosses processes)."""
+
+    key: str
+    status: str
+    snapshot: ResultSnapshot | None = None
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+
+def execute_prepared(item: PreparedJob) -> JobOutcome:
+    """Run one prepared job to completion on a fresh machine.
+
+    Module-level (hence picklable) and dependent only on ``item``: this
+    is the unit of work both the in-process path and pool workers run.
+    """
+    try:
+        plane = None
+        if item.fault is not None:
+            from repro.faults.plane import FaultPlane
+
+            plane = FaultPlane([item.fault], item.config)
+        proc = Processor(item.config, faults=plane)
+        proc.load(item.program)
+        for col, values in sorted(item.lmem.items()):
+            padded = np.zeros(item.config.num_pes, dtype=np.int64)
+            n = min(len(values), item.config.num_pes)
+            padded[:n] = values[:n]
+            proc.pe.set_lmem_column(int(col), padded)
+        result = proc.run(max_cycles=item.max_cycles)
+    except SimTimeout as exc:
+        return JobOutcome(item.key, STATUS_TIMEOUT, error=str(exc))
+    except (SimulationError, RuntimeError, ValueError) as exc:
+        return JobOutcome(item.key, STATUS_ERROR,
+                          error=f"{type(exc).__name__}: {exc}")
+    return JobOutcome(item.key, STATUS_OK,
+                      snapshot=ResultSnapshot.from_result(result))
+
+
+def map_ordered(fn, items: list, jobs: int = 1, retries: int = 1) -> list:
+    """Apply picklable ``fn`` to every item, preserving input order.
+
+    ``jobs <= 1`` is a plain serial loop.  With workers, pool breakage
+    (crashed worker processes) is retried on a fresh executor up to
+    ``retries`` times; whatever is still missing after that is computed
+    serially in-process.  ``fn`` itself must not raise for ordinary
+    per-item failures — encode those in its return value.
+    """
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+
+    results: dict[int, object] = {}
+    pending = list(range(len(items)))
+    for _ in range(max(retries, 0) + 1):
+        if not pending:
+            break
+        try:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) \
+                    as pool:
+                futures = {i: pool.submit(fn, items[i]) for i in pending}
+                still_pending = []
+                for i, future in futures.items():
+                    try:
+                        results[i] = future.result()
+                    except BrokenProcessPool:
+                        still_pending.append(i)
+                pending = still_pending
+        except BrokenProcessPool:
+            continue
+    for i in pending:   # last resort: serial, in-process
+        results[i] = fn(items[i])
+    return [results[i] for i in range(len(items))]
+
+
+def run_prepared(items: list[PreparedJob], jobs: int = 1,
+                 retries: int = 1) -> list[JobOutcome]:
+    """Execute prepared jobs (unique keys) and return ordered outcomes."""
+    return map_ordered(execute_prepared, items, jobs=jobs, retries=retries)

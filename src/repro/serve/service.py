@@ -1,0 +1,135 @@
+"""Long-lived JSON-lines simulation service (``python -m repro serve``).
+
+One request per line on stdin, one JSON reply per line on stdout —
+trivially driveable from a shell, a test harness, or any language with a
+JSON library (the idiom of local model-serving sidecars).  All replies
+carry ``"ok"`` and echo the request ``"id"`` when one was given.
+
+Operations::
+
+    {"op": "ping"}
+    {"op": "run",   "id": 1, "job": {...}}            -> one result
+    {"op": "batch", "id": 2, "jobs": [{...}, ...]}    -> ordered results
+    {"op": "stats", "id": 3}                          -> cache counters
+    {"op": "shutdown"}                                -> reply, then exit
+
+Scale behaviour:
+
+* **coalescing** — duplicate keys inside a batch simulate once, and the
+  shared result cache serves repeat traffic across requests (and across
+  service restarts, via the disk tier);
+* **backpressure** — the executor queue is bounded at ``max_pending``
+  jobs; a batch that would exceed it is refused outright with
+  ``{"ok": false, "error": "overloaded", ...}`` so clients shed load
+  explicitly instead of piling onto an unbounded queue;
+* **fault isolation** — per-job failures (assembly errors, simulator
+  faults, timeouts) are reported in the reply for that job; malformed
+  requests get an error reply; only EOF or ``shutdown`` stops the loop.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.serve.batch import BatchRunner
+from repro.serve.cache import ResultCache
+from repro.serve.jobs import Job, JobError, jobs_from_json
+
+#: Refuse batches larger than this many jobs (queue bound).
+DEFAULT_MAX_PENDING = 256
+
+
+class ServeSession:
+    """Protocol state for one service process (testable without pipes)."""
+
+    def __init__(self, runner: BatchRunner | None = None,
+                 max_pending: int = DEFAULT_MAX_PENDING,
+                 full_results: bool = False) -> None:
+        self.runner = runner or BatchRunner(ResultCache())
+        self.max_pending = max_pending
+        self.full_results = full_results
+        self.requests = 0
+        self.shutdown = False
+
+    # -- request handling -----------------------------------------------------
+
+    def handle_line(self, line: str) -> dict | None:
+        """One request line -> one reply dict (None for blank lines)."""
+        line = line.strip()
+        if not line:
+            return None
+        self.requests += 1
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as exc:
+            return {"ok": False, "error": f"bad JSON: {exc.msg}"}
+        if not isinstance(request, dict):
+            return {"ok": False, "error": "request must be a JSON object"}
+        reply = self._dispatch(request)
+        if "id" in request:
+            reply["id"] = request["id"]
+        return reply
+
+    def _dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "stats":
+            return {"ok": True, "requests": self.requests,
+                    "cache": self.runner.cache.stats.to_json()}
+        if op == "shutdown":
+            self.shutdown = True
+            return {"ok": True, "shutdown": True}
+        if op == "run":
+            return self._run_jobs([request.get("job")], single=True)
+        if op == "batch":
+            jobs = request.get("jobs")
+            if not isinstance(jobs, list):
+                return {"ok": False, "error": "'jobs' must be a list"}
+            return self._run_jobs(jobs, single=False)
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    def _run_jobs(self, raw_jobs: list, single: bool) -> dict:
+        if len(raw_jobs) > self.max_pending:
+            return {"ok": False, "error": "overloaded",
+                    "max_pending": self.max_pending,
+                    "requested": len(raw_jobs)}
+        try:
+            jobs = jobs_from_json(list(raw_jobs))
+        except JobError as exc:
+            return {"ok": False, "error": str(exc)}
+        try:
+            report = self.runner.run(jobs)
+        except JobError as exc:
+            return {"ok": False, "error": str(exc)}
+        payload = report.to_json(full=self.full_results)
+        if single:
+            result = payload["results"][0]
+            origin = report.results[0].origin
+            return {"ok": report.ok, "origin": origin, **result}
+        origins = [r.origin for r in report.results]
+        return {"ok": report.ok, "origins": origins, **payload}
+
+
+def serve_forever(stdin=None, stdout=None,
+                  runner: BatchRunner | None = None,
+                  max_pending: int = DEFAULT_MAX_PENDING,
+                  full_results: bool = False) -> int:
+    """Pump the JSON-lines protocol until EOF or a shutdown request."""
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    session = ServeSession(runner=runner, max_pending=max_pending,
+                           full_results=full_results)
+    for line in stdin:
+        reply = session.handle_line(line)
+        if reply is None:
+            continue
+        stdout.write(json.dumps(reply, sort_keys=True) + "\n")
+        stdout.flush()
+        if session.shutdown:
+            break
+    return 0
+
+
+__all__ = ["DEFAULT_MAX_PENDING", "ServeSession", "serve_forever"]

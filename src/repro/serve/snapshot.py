@@ -1,0 +1,120 @@
+"""Pickle-safe result snapshots.
+
+A :class:`~repro.core.processor.RunResult` holds the live
+:class:`~repro.core.processor.Processor` so tests can poke at
+microarchitectural state, but that makes it the wrong thing to cache or
+ship between processes: it drags the whole machine (scoreboards, fault
+plane, fetch buffers) along and its identity is tied to one Python
+process.  A :class:`ResultSnapshot` is the portable form — the complete
+*architectural* outcome of a run (statistics, every thread's scalar
+registers, the PE register and flag files, scalar data memory) captured
+into plain Python containers.
+
+Snapshots are value objects: dataclass equality is element-wise, a
+pickle round-trip reproduces an equal object (asserted by tests), and a
+cache hit therefore hands back a result bit-identical to re-simulating.
+The accessor surface (``scalar`` / ``pe_reg`` / ``pe_flag`` /
+``memory`` / ``cycles``) mirrors ``RunResult`` so downstream consumers —
+output extraction, oracles, the batch service — accept either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.stats import ALL_STALL_CAUSES, Stats
+
+
+@dataclass
+class ResultSnapshot:
+    """Architectural outcome of one completed simulation.
+
+    ``scalars`` is indexed ``[thread][reg]``; ``pe_regs`` and
+    ``pe_flags`` are indexed ``[thread][reg][pe]``; ``mem_words`` is the
+    full scalar data memory.  All cells are plain Python ints so
+    equality, JSON rendering, and pickling are exact.
+    """
+
+    stats: Stats
+    scalars: list = field(default_factory=list)
+    pe_regs: list = field(default_factory=list)
+    pe_flags: list = field(default_factory=list)
+    mem_words: list = field(default_factory=list)
+    schema: int = 1
+
+    @classmethod
+    def from_result(cls, result) -> "ResultSnapshot":
+        """Capture a finished ``RunResult`` (or compatible object)."""
+        proc = result.processor
+        return cls(
+            stats=result.stats,
+            scalars=[[int(v) for v in ctx.sregs] for ctx in proc.threads],
+            pe_regs=proc.pe.regs.tolist(),
+            pe_flags=proc.pe.flags.astype(np.int64).tolist(),
+            mem_words=[int(w) for w in proc.mem.dump(0, proc.mem.words)],
+        )
+
+    # -- RunResult-compatible accessors -------------------------------------
+
+    def scalar(self, reg: int, thread: int = 0) -> int:
+        return self.scalars[thread][reg]
+
+    def pe_reg(self, reg: int, thread: int = 0) -> np.ndarray:
+        return np.asarray(self.pe_regs[thread][reg], dtype=np.int64)
+
+    def pe_flag(self, flag: int, thread: int = 0) -> np.ndarray:
+        return np.asarray(self.pe_flags[thread][flag], dtype=bool)
+
+    def memory(self, base: int, count: int) -> list:
+        return self.mem_words[base:base + count]
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    # -- rendering -----------------------------------------------------------
+
+    def to_json(self) -> dict:
+        """Deterministic JSON-safe dict (service replies, ``run --json``)."""
+        return {
+            "schema": self.schema,
+            "stats": stats_to_json(self.stats),
+            "scalars": {
+                f"t{t}": {f"s{i}": v for i, v in enumerate(regs) if v}
+                for t, regs in enumerate(self.scalars)
+                if any(regs)
+            },
+            "pe_regs": {
+                f"t{t}": {f"p{i}": list(col)
+                          for i, col in enumerate(regs) if any(col)}
+                for t, regs in enumerate(self.pe_regs)
+                if any(any(col) for col in regs)
+            },
+            "memory_nonzero": {str(i): w for i, w in enumerate(self.mem_words)
+                               if w},
+        }
+
+
+def stats_to_json(stats: Stats) -> dict:
+    """Flatten :class:`Stats` to a stable JSON-safe dict."""
+    return {
+        "cycles": stats.cycles,
+        "instructions": stats.instructions,
+        "scalar_instructions": stats.scalar_instructions,
+        "parallel_instructions": stats.parallel_instructions,
+        "reduction_instructions": stats.reduction_instructions,
+        "issue_slots": stats.issue_slots,
+        "idle_slots": stats.idle_slots,
+        "ipc": round(stats.ipc, 6),
+        "utilization": round(stats.utilization, 6),
+        "wait_cycles": {cause: stats.wait_cycles[cause]
+                        for cause in ALL_STALL_CAUSES
+                        if stats.wait_cycles.get(cause)},
+        "per_thread_issued": {str(t): c for t, c
+                              in sorted(stats.per_thread_issued.items())},
+        "threads_spawned": stats.threads_spawned,
+        "faults_injected": stats.faults_injected,
+        "fault_alarms": stats.fault_alarms,
+    }

@@ -5,14 +5,18 @@ Runs the full test suite, every experiment benchmark (archiving each
 experiment's tables/comparisons as JSON), and every example, then writes
 a summary report:
 
-    python tools/reproduce_all.py [--out results]
+    python tools/reproduce_all.py [--out results] [--jobs N]
 
-Exit status is non-zero if anything failed.
+The example scripts are independent processes, so ``--jobs N`` fans them
+out over a small worker pool (the same host-level overlap idea as
+``repro batch``); step logs are printed in deterministic order once each
+step finishes.  Exit status is non-zero if anything failed.
 """
 
 from __future__ import annotations
 
 import argparse
+import concurrent.futures
 import json
 import os
 import pathlib
@@ -24,24 +28,52 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 
 
 def run_step(name: str, cmd: list[str], env: dict | None = None,
-             ) -> dict:
-    print(f"\n=== {name}: {' '.join(cmd)}")
+             quiet: bool = False) -> dict:
+    if not quiet:
+        print(f"\n=== {name}: {' '.join(cmd)}")
     started = time.time()
     proc = subprocess.run(cmd, cwd=REPO, env=env,
                           capture_output=True, text=True)
     elapsed = time.time() - started
     tail = "\n".join(proc.stdout.splitlines()[-3:])
-    print(tail)
     status = "ok" if proc.returncode == 0 else "FAILED"
-    print(f"=== {name}: {status} in {elapsed:.1f}s")
-    return {"name": name, "command": cmd, "returncode": proc.returncode,
-            "seconds": round(elapsed, 1), "tail": tail}
+    record = {"name": name, "command": cmd, "returncode": proc.returncode,
+              "seconds": round(elapsed, 1), "tail": tail}
+    if not quiet:
+        print(tail)
+        print(f"=== {name}: {status} in {elapsed:.1f}s")
+    return record
+
+
+def print_step(record: dict) -> None:
+    status = "ok" if record["returncode"] == 0 else "FAILED"
+    print(f"\n=== {record['name']}: {' '.join(record['command'])}")
+    print(record["tail"])
+    print(f"=== {record['name']}: {status} in {record['seconds']}s")
+
+
+def run_examples(jobs: int) -> list[dict]:
+    """Run every example script, ``jobs`` at a time, in stable order."""
+    scripts = sorted((REPO / "examples").glob("*.py"))
+    tasks = [(f"example {s.name}", [sys.executable, str(s)])
+             for s in scripts]
+    if jobs <= 1:
+        return [run_step(name, cmd) for name, cmd in tasks]
+    with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+        futures = [pool.submit(run_step, name, cmd, quiet=True)
+                   for name, cmd in tasks]
+        records = [f.result() for f in futures]
+    for record in records:
+        print_step(record)
+    return records
 
 
 def main() -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument("--out", default="results",
                         help="output directory (default: results/)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="run example scripts N at a time (default 1)")
     args = parser.parse_args()
 
     out_dir = (REPO / args.out).resolve()
@@ -55,9 +87,7 @@ def main() -> int:
                  [sys.executable, "-m", "pytest", "benchmarks/",
                   "--benchmark-only", "-q", "-s"], env=env),
     ]
-    for script in sorted((REPO / "examples").glob("*.py")):
-        steps.append(run_step(f"example {script.name}",
-                              [sys.executable, str(script)]))
+    steps.extend(run_examples(args.jobs))
 
     experiments = sorted(out_dir.glob("*.json"))
     summary = {
