@@ -1,0 +1,26 @@
+# Seeded data race: the parent and a spawned worker both store to
+# scalar memory word 20 with nothing ordering the two stores — the
+# final value depends on thread scheduling.
+#
+# This file exists to be caught.  Both detectors flag it:
+#   python -m repro lint examples/asm/race_demo.s --strict   # exit 2
+#   python -m repro run  examples/asm/race_demo.s --sanitize # exit 3
+# The static finding is a cross-thread-race on word 20; the sanitizer
+# reports the same conflict as a memory-race between the two sw sites.
+# The post-join lw is *not* flagged: tjoin orders it after the worker.
+
+.text
+main:
+    ori    s2, s0, 7
+    sw     s2, 20(s0)       # pre-spawn store: happens-before the worker
+    tspawn s1, worker
+    ori    s3, s0, 5
+    sw     s3, 20(s0)       # races with the worker's store below
+    tjoin  s1
+    lw     s4, 20(s0)       # ordered: after the join
+    halt
+
+worker:
+    ori    s2, s0, 9
+    sw     s2, 20(s0)       # races with the parent's post-spawn store
+    texit

@@ -15,10 +15,17 @@ reproduces that argument symbolically, from the program text alone:
 * :mod:`repro.analysis.hazards` — the Figure-2 hazard classifier and a
   static stall-cycle model that exactly reproduces the cycle-accurate
   core's stall counters on straight-line code;
+* :mod:`repro.analysis.concurrency` — spawn graph, thread regions, and
+  happens-before facts over ``tspawn``/``tjoin``/``tput``/``tget``,
+  powering the cross-thread race / delivery / lifecycle lint checks;
 * :mod:`repro.analysis.lint` — the ``repro lint`` pass manager.
 """
 
 from repro.analysis.cfg import CFG, build_cfg
+from repro.analysis.concurrency import (
+    ConcurrencyAnalysis,
+    ThreadRegion,
+)
 from repro.analysis.dataflow import (
     INIT_DEF,
     DataflowResult,
@@ -35,6 +42,7 @@ from repro.analysis.hazards import (
 )
 from repro.analysis.lint import (
     ALL_CHECKS,
+    LINT_JSON_SCHEMA,
     AnalysisContext,
     Diagnostic,
     LintReport,
@@ -44,6 +52,8 @@ from repro.analysis.lint import (
 __all__ = [
     "CFG",
     "build_cfg",
+    "ConcurrencyAnalysis",
+    "ThreadRegion",
     "INIT_DEF",
     "DataflowResult",
     "Definition",
@@ -57,6 +67,7 @@ __all__ = [
     "hazard_edges",
     "is_straight_line",
     "ALL_CHECKS",
+    "LINT_JSON_SCHEMA",
     "AnalysisContext",
     "Diagnostic",
     "LintReport",

@@ -27,12 +27,24 @@ Checks
     A thread handle produced by ``tspawn`` is used with ``tput`` /
     ``tget`` / ``tjoin`` after a ``tjoin`` on the same handle already
     released the context.
-``scalar-mem-race``
-    Two threads access the same statically-known scalar-memory word,
-    at least one writing, with no ``tjoin`` ordering the parent-side
-    access after the child.  Addresses are resolved only when the base
-    register's value is a compile-time constant; unknown addresses are
-    never reported (the check under-approximates rather than cry wolf).
+``cross-thread-race``
+    Two thread regions access the same statically-known scalar-memory
+    word, at least one writing, with no spawn/join happens-before edge
+    ordering them (:mod:`repro.analysis.concurrency`).  Supersedes the
+    PR-1 ``scalar-mem-race`` check.  Addresses are resolved only when
+    the base register's value is a compile-time constant; unknown
+    addresses are never reported (the check under-approximates rather
+    than cry wolf).
+``lost-delivery``
+    ``tput``/``tget`` register-delivery conflicts: a delivery
+    overwritten before the receiver reads it, clobbered by the
+    receiver's own write, never read at all, or a ``tget`` with no
+    synchronizing ``tput`` on every path.
+``thread-lifecycle``
+    Handle-lifecycle bugs: ``tjoin`` on a value that is not (or may
+    not be) a thread handle, joins that can never complete because the
+    target region has no ``texit``, and (at *info* severity) spawned
+    threads that are never joined.
 ``unguarded-reduction``
     A masked value reduction (``rmax``, ``rsum``, ...) whose responder
     flag is never tested with ``rany``/``rcount`` anywhere in the
@@ -48,6 +60,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.cfg import CFG, build_cfg
+from repro.analysis.concurrency import (
+    ConcurrencyAnalysis,
+    check_cross_thread_race,
+    check_lost_delivery,
+    check_thread_lifecycle,
+)
 from repro.analysis.dataflow import (
     INIT_DEF,
     DataflowResult,
@@ -64,10 +82,21 @@ from repro.isa import registers
 
 SEVERITIES = ("error", "warning", "info")
 
+# Version of the ``repro lint --json`` report layout.  Bumped to 2 when
+# the report header gained the resolved machine configuration and
+# diagnostics gained the optional structured ``data`` payload.
+LINT_JSON_SCHEMA = 2
+
 
 @dataclass
 class Diagnostic:
-    """One lint finding, with source provenance."""
+    """One lint finding, with source provenance.
+
+    ``data`` is an optional structured payload (e.g. the racing memory
+    address and the pcs of both accesses) used by tooling and the
+    static/dynamic cross-validation tests; it is emitted in JSON only
+    when present, so reports without it are unchanged.
+    """
 
     check: str
     severity: str
@@ -75,6 +104,7 @@ class Diagnostic:
     message: str
     lineno: int | None = None
     source: str | None = None
+    data: dict | None = None
 
     def format(self, filename: str = "<program>") -> str:
         loc = (f"{filename}:{self.lineno}" if self.lineno is not None
@@ -85,7 +115,7 @@ class Diagnostic:
         return out
 
     def to_json(self) -> dict:
-        return {
+        out = {
             "check": self.check,
             "severity": self.severity,
             "pc": self.pc,
@@ -93,6 +123,9 @@ class Diagnostic:
             "source": self.source.strip() if self.source else None,
             "message": self.message,
         }
+        if self.data is not None:
+            out["data"] = self.data
+        return out
 
 
 @dataclass
@@ -103,17 +136,27 @@ class AnalysisContext:
     config: ProcessorConfig
     cfg: CFG = field(init=False)
     dataflow: DataflowResult = field(init=False)
+    _concurrency: ConcurrencyAnalysis | None = field(init=False,
+                                                    default=None, repr=False)
 
     def __post_init__(self) -> None:
         self.cfg = build_cfg(self.program)
         self.dataflow = analyze_dataflow(self.cfg)
 
-    def diag(self, check: str, severity: str, pc: int,
-             message: str) -> Diagnostic:
+    def concurrency(self) -> ConcurrencyAnalysis:
+        """Spawn graph + happens-before facts, built once per context."""
+        if self._concurrency is None:
+            self._concurrency = ConcurrencyAnalysis(
+                self.program, self.cfg, self.dataflow)
+        return self._concurrency
+
+    def diag(self, check: str, severity: str, pc: int, message: str,
+             data: dict | None = None) -> Diagnostic:
         src = self.program.source_map.get(pc)
         return Diagnostic(check, severity, pc, message,
                           lineno=src.lineno if src else None,
-                          source=src.text if src else None)
+                          source=src.text if src else None,
+                          data=data)
 
 
 @dataclass
@@ -297,97 +340,6 @@ def check_thread_context(ctx: AnalysisContext) -> list[Diagnostic]:
     return out
 
 
-def _const_value(program: Program, df: DataflowResult, pc: int,
-                 reg_idx: int) -> int | None:
-    """Compile-time value of scalar register ``reg_idx`` at ``pc``, if
-    its single reaching definition is a constant materialization."""
-    if reg_idx == registers.ZERO_REG:
-        return 0
-    defs = df.reaching_defs(pc, ("s", reg_idx))
-    if len(defs) != 1:
-        return None
-    (d,) = defs
-    if d == INIT_DEF:
-        return 0
-    producer = program.instructions[d]
-    if producer.mnemonic in ("ori", "addi") \
-            and producer.rs == registers.ZERO_REG:
-        return producer.imm
-    if producer.mnemonic == "lui":
-        return producer.imm << 16
-    return None
-
-
-def check_scalar_mem_race(ctx: AnalysisContext) -> list[Diagnostic]:
-    out: list[Diagnostic] = []
-    program = ctx.program
-    cfg = ctx.cfg
-    df = ctx.dataflow
-    if not cfg.spawn_entries or not cfg.blocks:
-        return out
-    # Regions: pcs reachable from the program entry vs from each spawn.
-    main_entry = cfg.entry_blocks[0]
-    regions: list[tuple[str, set[int]]] = []
-    main_blocks = cfg.reachable_from(main_entry)
-    regions.append(("main", {pc for b in main_blocks
-                             for pc in cfg.blocks[b].range}))
-    for spawn in cfg.spawn_entries:
-        blocks = cfg.reachable_from(spawn)
-        name = f"thread@{cfg.blocks[spawn].start}"
-        regions.append((name, {pc for b in blocks
-                               for pc in cfg.blocks[b].range}))
-
-    # Statically-resolvable scalar-memory accesses per region.
-    def accesses(pcs: set[int]) -> list[tuple[int, int, bool]]:
-        acc = []
-        for pc in sorted(pcs):
-            instr = program.instructions[pc]
-            spec = instr.spec
-            if spec.exec_class.value != "scalar" \
-                    or not (spec.is_load or spec.is_store):
-                continue
-            base = _const_value(program, df, pc, instr.rs)
-            if base is None:
-                continue
-            acc.append((pc, base + instr.imm, spec.is_store))
-        return acc
-
-    region_accesses = [(name, pcs, accesses(pcs)) for name, pcs in regions]
-    main_pcs = regions[0][1]
-    join_pcs = sorted(pc for pc in main_pcs
-                      if program.instructions[pc].mnemonic == "tjoin")
-
-    reported: set[tuple[int, int]] = set()
-    for i, (name_a, pcs_a, acc_a) in enumerate(region_accesses):
-        for name_b, pcs_b, acc_b in region_accesses[i + 1:]:
-            for pc_a, addr_a, store_a in acc_a:
-                for pc_b, addr_b, store_b in acc_b:
-                    if addr_a != addr_b or not (store_a or store_b):
-                        continue
-                    if pc_a == pc_b:
-                        continue      # shared code, same access
-                    # Parent-side accesses after a tjoin are ordered.
-                    parent_pc = pc_a if name_a == "main" else (
-                        pc_b if name_b == "main" else None)
-                    if parent_pc is not None and any(
-                            j < parent_pc for j in join_pcs):
-                        continue
-                    key = (min(pc_a, pc_b), max(pc_a, pc_b))
-                    if key in reported:
-                        continue
-                    reported.add(key)
-                    kind = "store" if store_a and store_b else \
-                        "store/load"
-                    out.append(ctx.diag(
-                        "scalar-mem-race", "warning", max(pc_a, pc_b),
-                        f"unsynchronized {kind} race on scalar memory "
-                        f"word {addr_a}: {name_a} at "
-                        f"{program.location_of(pc_a)} vs {name_b} at "
-                        f"{program.location_of(pc_b)} (no tjoin orders "
-                        f"them)"))
-    return out
-
-
 def check_unguarded_reduction(ctx: AnalysisContext) -> list[Diagnostic]:
     from repro.network.reduction import REDUCTION_FNS
 
@@ -421,7 +373,9 @@ ALL_CHECKS = {
     "unreachable-code": check_unreachable_code,
     "mask-scope": check_mask_scope,
     "thread-context": check_thread_context,
-    "scalar-mem-race": check_scalar_mem_race,
+    "cross-thread-race": check_cross_thread_race,
+    "lost-delivery": check_lost_delivery,
+    "thread-lifecycle": check_thread_lifecycle,
     "unguarded-reduction": check_unguarded_reduction,
 }
 
@@ -441,7 +395,9 @@ def lint_program(program: Program, config: ProcessorConfig | None = None,
                 f"unknown lint check {name!r} (available: "
                 f"{', '.join(sorted(ALL_CHECKS))})") from None
         diagnostics.extend(check(ctx))
-    diagnostics.sort(key=lambda d: (d.pc, d.check))
+    # Deterministic order: primary (pc, check) per the report contract,
+    # with severity/message tiebreaks so --json output is byte-stable.
+    diagnostics.sort(key=lambda d: (d.pc, d.check, d.severity, d.message))
     return LintReport(
         diagnostics=diagnostics,
         estimate=estimate_stalls(program, cfg),

@@ -12,10 +12,16 @@ Commands
 ``info``     machine configuration, resource usage, device fit
 ``isa``      print the instruction-set reference
 
+``run --sanitize`` attaches the vector-clock race sanitizer
+(:mod:`repro.core.sanitizer`) to the simulation and exits 3 when it
+reports cross-thread races; ``lint`` exits 1 on input or assembly
+errors and 2 when ``--strict`` sees error/warning findings.
+
 Examples::
 
     python -m repro run program.s --pes 64 --threads 16 --trace
     python -m repro run program.s --json
+    python -m repro run program.s --sanitize --json
     python -m repro lint program.s --strict --json
     python -m repro faultsim --kernel count_matches --faults 100 --jobs 4
     python -m repro batch jobs.json --jobs 4 --cache-dir /tmp/repro-cache
@@ -132,7 +138,12 @@ def cmd_run(args: argparse.Namespace) -> int:
     except AsmError as exc:
         print(f"assembly error: {exc}", file=sys.stderr)
         return 1
-    proc = Processor(cfg, trace=args.trace)
+    sanitizer = None
+    if args.sanitize:
+        from repro.core.sanitizer import RaceSanitizer
+
+        sanitizer = RaceSanitizer()
+    proc = Processor(cfg, trace=args.trace, sanitizer=sanitizer)
     proc.load(program)
     for spec in args.lmem or []:
         col_text, _, values_text = spec.partition("=")
@@ -155,8 +166,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         snap = ResultSnapshot.from_result(result)
         payload = {"machine": cfg.describe(), "file": args.file,
                    **snap.to_json()}
+        if sanitizer is not None:
+            payload["sanitizer"] = sanitizer.to_json()
         print(json.dumps(payload, indent=2, sort_keys=True))
-        return 0
+        return 3 if sanitizer is not None and not sanitizer.clean else 0
 
     print(f"machine: {cfg.describe()}")
     print(result.stats.render())
@@ -170,13 +183,37 @@ def cmd_run(args: argparse.Namespace) -> int:
         print()
         print(render_trace(result.trace, cfg,
                            show_thread=cfg.num_threads > 1))
+    if sanitizer is not None:
+        if sanitizer.clean:
+            print("sanitizer: no races detected")
+        else:
+            print(f"sanitizer: {len(sanitizer.reports)} race(s) detected",
+                  file=sys.stderr)
+            for report in sanitizer.reports:
+                print(f"  {report.format()}", file=sys.stderr)
+            return 3
     return 0
+
+
+def _machine_json(cfg: ProcessorConfig) -> dict:
+    """The resolved machine configuration a lint report ran against, so
+    archived reports are self-describing."""
+    return {
+        "pes": cfg.num_pes,
+        "threads": cfg.num_threads,
+        "width": cfg.word_width,
+        "arity": cfg.broadcast_arity,
+        "mt_mode": cfg.mt_mode.value,
+        "scheduler": cfg.scheduler.value,
+        "pipelined_broadcast": cfg.pipelined_broadcast,
+        "pipelined_reduction": cfg.pipelined_reduction,
+    }
 
 
 def _lint_one(name: str, program, cfg: ProcessorConfig,
               args: argparse.Namespace) -> tuple[int, dict]:
     """Lint one assembled program; returns (finding count, json payload)."""
-    from repro.analysis import lint_program
+    from repro.analysis import LINT_JSON_SCHEMA, lint_program
 
     checks = args.checks.split(",") if args.checks else None
     try:
@@ -186,7 +223,9 @@ def _lint_one(name: str, program, cfg: ProcessorConfig,
     est = report.estimate
 
     payload = {
+        "schema": LINT_JSON_SCHEMA,
         "file": name,
+        "machine": _machine_json(cfg),
         "diagnostics": [d.to_json() for d in report.diagnostics],
         "hazards": [
             {"producer_pc": h.producer_pc, "consumer_pc": h.consumer_pc,
@@ -445,6 +484,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--json", action="store_true",
                        help="emit a machine-readable result (cycles, stall "
                             "breakdown, scalar/PE state) instead of tables")
+    p_run.add_argument("--sanitize", action="store_true",
+                       help="run under the vector-clock race sanitizer; "
+                            "exit 3 if any cross-thread races are detected")
     p_run.set_defaults(func=cmd_run)
 
     p_lint = sub.add_parser(

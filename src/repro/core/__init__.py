@@ -16,6 +16,7 @@ from repro.core.processor import (
     SimulationError,
     run_program,
 )
+from repro.core.sanitizer import RaceReport, RaceSanitizer
 from repro.core.stats import Stats
 from repro.core.thread import ThreadContext, ThreadState, ThreadStatusTable
 from repro.core.trace import hazard_distance, pipeline_paths, render_trace
@@ -42,6 +43,8 @@ __all__ = [
     "SimTimeout",
     "SimulationError",
     "run_program",
+    "RaceReport",
+    "RaceSanitizer",
     "Stats",
     "ThreadContext",
     "ThreadState",

@@ -109,12 +109,18 @@ class Executor:
     """
 
     def __init__(self, pe_array: PEArray, scalar_memory, thread_table,
-                 word_width: int, faults=None) -> None:
+                 word_width: int, faults=None, sanitizer=None) -> None:
         self.pe = pe_array
         self.mem = scalar_memory
         self.threads = thread_table
         self.width = word_width
         self.word_mask = mask_for_width(word_width)
+        # Race sanitizer (repro.core.sanitizer.RaceSanitizer) or None.
+        # Memory and tput/tget delivery events fire here because the
+        # executor is where addresses and target threads resolve; all
+        # hooks hide behind "is not None" so a run without a sanitizer
+        # is bit-identical at zero cost.
+        self.sanitizer = sanitizer
         # Fault-injection plane (repro.faults.FaultPlane) or None.  The
         # parity read check is bound once here so the healthy hot path
         # keeps the raw array read.
@@ -160,10 +166,14 @@ class Executor:
             return ExecResult(nxt)
         if m == "lw":
             addr = thread.read_sreg(instr.rs) + instr.imm
+            if self.sanitizer is not None:
+                self.sanitizer.on_load(thread.tid, addr, pc)
             thread.write_sreg(instr.rd, self.mem.load(addr), self.word_mask)
             return ExecResult(nxt)
         if m == "sw":
             addr = thread.read_sreg(instr.rs) + instr.imm
+            if self.sanitizer is not None:
+                self.sanitizer.on_store(thread.tid, addr, pc)
             self.mem.store(addr, thread.read_sreg(instr.rd))
             return ExecResult(nxt)
         if m in _BRANCHES:
@@ -197,12 +207,16 @@ class Executor:
         if m == "tput":
             target = self.threads[thread.read_sreg(instr.rd)
                                   % len(self.threads.contexts)]
+            if self.sanitizer is not None:
+                self.sanitizer.on_tput(thread.tid, target.tid, instr.imm, pc)
             target.write_sreg(instr.imm, thread.read_sreg(instr.rs),
                               self.word_mask)
             return ExecResult(nxt)
         if m == "tget":
             source = self.threads[thread.read_sreg(instr.rs)
                                   % len(self.threads.contexts)]
+            if self.sanitizer is not None:
+                self.sanitizer.on_tget(thread.tid, source.tid, instr.imm, pc)
             thread.write_sreg(instr.rd, source.read_sreg(instr.imm),
                               self.word_mask)
             return ExecResult(nxt)

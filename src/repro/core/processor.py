@@ -99,19 +99,22 @@ class Processor:
     """One configured machine instance.  Reusable across programs."""
 
     def __init__(self, config: ProcessorConfig | None = None,
-                 trace: bool = False, faults=None) -> None:
+                 trace: bool = False, faults=None, sanitizer=None) -> None:
         self.cfg = config or ProcessorConfig()
         cfg = self.cfg
-        # Optional fault-injection plane (repro.faults.FaultPlane).  All
-        # hooks hide behind "is not None" checks: a healthy machine pays
+        # Optional fault-injection plane (repro.faults.FaultPlane) and
+        # race sanitizer (repro.core.sanitizer.RaceSanitizer).  All hooks
+        # hide behind "is not None" checks: a machine without them pays
         # nothing and its cycle-level behaviour is bit-for-bit unchanged.
         self.faults = faults
+        self.sanitizer = sanitizer
         self.pe = PEArray(cfg.num_pes, cfg.num_threads, cfg.word_width,
                           cfg.lmem_words)
         self.mem = ScalarMemory(cfg.scalar_mem_words, cfg.word_width)
         self.threads = ThreadStatusTable(cfg.num_threads)
         self.executor = Executor(self.pe, self.mem, self.threads,
-                                 cfg.word_width, faults=faults)
+                                 cfg.word_width, faults=faults,
+                                 sanitizer=sanitizer)
         self.scheduler = ThreadScheduler(cfg)
         self.trace_enabled = trace
         self.program: Program | None = None
@@ -149,7 +152,8 @@ class Processor:
             self.mem.load_image(self.program.data)
         self.threads = ThreadStatusTable(self.cfg.num_threads)
         self.executor = Executor(self.pe, self.mem, self.threads,
-                                 self.cfg.word_width, faults=self.faults)
+                                 self.cfg.word_width, faults=self.faults,
+                                 sanitizer=self.sanitizer)
         self.scheduler.reset()
         for unit in self.units.values():
             unit.reset()
@@ -169,6 +173,8 @@ class Processor:
                 self.fetch.thread_started(tid, 0)
         if self.faults is not None:
             self.faults.attach(self)
+        if self.sanitizer is not None:
+            self.sanitizer.attach(self)
 
     # -- hazard / readiness evaluation ------------------------------------------
 
@@ -269,6 +275,12 @@ class Processor:
         if cause is not None and cycle > base:
             self.stats.wait_cycles[cause] += cycle - base
 
+        if self.sanitizer is not None:
+            # Past the tjoin gate: the instruction definitely issues
+            # this cycle, so register-consumption and join edges are
+            # recorded exactly once.
+            self.sanitizer.on_issue(thread, instr, cfg.num_threads)
+
         pc = thread.pc
         try:
             outcome = self.executor.execute(instr, thread, cycle)
@@ -313,9 +325,13 @@ class Processor:
         if outcome.halt:
             self.halted = True
         if thread.state is ThreadState.EXITED:
+            if self.sanitizer is not None:
+                self.sanitizer.on_exit(thread.tid)
             self.threads.release(thread.tid)
             self._wake_joiners(thread.tid, cycle)
         if outcome.spawned is not None:
+            if self.sanitizer is not None:
+                self.sanitizer.on_spawn(thread.tid, outcome.spawned, pc)
             self.stats.threads_spawned += 1
             if self.fetch is not None:
                 self.fetch.thread_started(outcome.spawned, cycle)

@@ -52,10 +52,14 @@ class JobResult:
         if self.error:
             out["error"] = self.error
         if self.snapshot is not None:
-            out["result"] = (self.snapshot.to_json() if full
-                             else {"cycles": self.snapshot.cycles,
-                                   "instructions":
-                                       self.snapshot.stats.instructions})
+            if full:
+                out["result"] = self.snapshot.to_json()
+            else:
+                out["result"] = {"cycles": self.snapshot.cycles,
+                                 "instructions":
+                                     self.snapshot.stats.instructions}
+                if self.snapshot.races is not None:
+                    out["result"]["races"] = self.snapshot.races
         return out
 
 

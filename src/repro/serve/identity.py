@@ -16,6 +16,9 @@ The key is a SHA-256 over a canonical JSON payload:
 * the local-memory columns, sorted by column index;
 * the fault spec (minus its display label), if any;
 * the effective cycle limit (it changes where ``SimTimeout`` fires);
+* whether the race sanitizer is attached (it adds a ``races`` section
+  to the snapshot, so sanitized and unsanitized runs are distinct
+  cached artifacts even though the architectural outcome matches);
 * :data:`CACHE_SCHEMA_VERSION`, so bumping the snapshot schema retires
   every previously cached entry at the key level — stale entries are
   simply never addressed again.
@@ -34,7 +37,8 @@ from repro.faults.spec import FaultSpec
 
 # Bump when the snapshot layout or simulator-visible semantics change in
 # a way that makes old cached results unusable.
-CACHE_SCHEMA_VERSION = 1
+# 2: ResultSnapshot grew the optional ``races`` section (sanitizer).
+CACHE_SCHEMA_VERSION = 2
 
 
 def canonical_json(payload) -> str:
@@ -81,6 +85,7 @@ def job_key(program: Program, cfg: ProcessorConfig,
             lmem: dict | None = None,
             fault: FaultSpec | None = None,
             max_cycles: int | None = None,
+            sanitize: bool = False,
             schema_version: int = CACHE_SCHEMA_VERSION) -> str:
     """Content hash identifying one simulation. Equal key == same result."""
     payload = {
@@ -90,6 +95,7 @@ def job_key(program: Program, cfg: ProcessorConfig,
         "lmem": lmem_fingerprint(lmem),
         "fault": fault_fingerprint(fault),
         "max_cycles": max_cycles,
+        "sanitize": bool(sanitize),
     }
     digest = hashlib.sha256(canonical_json(payload).encode("utf-8"))
     return digest.hexdigest()

@@ -19,6 +19,9 @@ or ``{"jobs": [...]}``)::
 
 ``config`` keys are :class:`~repro.core.config.ProcessorConfig` field
 names; enum fields take their string values (e.g. ``"mt_mode": "fine"``).
+``"sanitize": true`` attaches the vector-clock race sanitizer to the
+run; detected races ride back in the snapshot's ``races`` section (and
+in the cache key, so sanitized results are cached separately).
 Kernel jobs inherit the kernel's word width and local-memory image, same
 as ``repro faultsim`` does.
 """
@@ -86,6 +89,7 @@ class PreparedJob:
     lmem: dict = field(default_factory=dict)
     max_cycles: int | None = None
     fault: FaultSpec | None = None
+    sanitize: bool = False
 
 
 @dataclass
@@ -99,6 +103,7 @@ class Job:
     lmem: dict = field(default_factory=dict)
     max_cycles: int | None = None
     fault: FaultSpec | None = None
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if (self.source is None) == (self.kernel is None):
@@ -112,7 +117,7 @@ class Job:
         if not isinstance(obj, dict):
             raise JobError(f"job entry must be an object, got {type(obj).__name__}")
         known = {"name", "source", "file", "kernel", "config", "lmem",
-                 "max_cycles", "fault"}
+                 "max_cycles", "fault", "sanitize"}
         unknown = sorted(set(obj) - known)
         if unknown:
             raise JobError(f"unknown job field(s): {', '.join(unknown)}")
@@ -143,7 +148,8 @@ class Job:
             or "inline"
         return cls(name=str(name), source=source, kernel=obj.get("kernel"),
                    config=config_from_json(obj.get("config")),
-                   lmem=lmem, max_cycles=obj.get("max_cycles"), fault=fault)
+                   lmem=lmem, max_cycles=obj.get("max_cycles"), fault=fault,
+                   sanitize=bool(obj.get("sanitize", False)))
 
     def prepare(self) -> PreparedJob:
         """Assemble and hash this job into its canonical form."""
@@ -167,10 +173,11 @@ class Job:
             raise JobError(f"job {self.name!r}: assembly failed: {exc}") \
                 from exc
         key = job_key(program, cfg, lmem=lmem, fault=self.fault,
-                      max_cycles=self.max_cycles)
+                      max_cycles=self.max_cycles, sanitize=self.sanitize)
         return PreparedJob(name=self.name, key=key, program=program,
                            config=cfg, lmem=lmem,
-                           max_cycles=self.max_cycles, fault=self.fault)
+                           max_cycles=self.max_cycles, fault=self.fault,
+                           sanitize=self.sanitize)
 
 
 def jobs_from_json(payload, base_dir=None) -> list[Job]:

@@ -71,7 +71,12 @@ def execute_prepared(item: PreparedJob) -> JobOutcome:
             from repro.faults.plane import FaultPlane
 
             plane = FaultPlane([item.fault], item.config)
-        proc = Processor(item.config, faults=plane)
+        sanitizer = None
+        if item.sanitize:
+            from repro.core.sanitizer import RaceSanitizer
+
+            sanitizer = RaceSanitizer()
+        proc = Processor(item.config, faults=plane, sanitizer=sanitizer)
         proc.load(item.program)
         for col, values in sorted(item.lmem.items()):
             padded = np.zeros(item.config.num_pes, dtype=np.int64)
@@ -84,8 +89,11 @@ def execute_prepared(item: PreparedJob) -> JobOutcome:
     except (SimulationError, RuntimeError, ValueError) as exc:
         return JobOutcome(item.key, STATUS_ERROR,
                           error=f"{type(exc).__name__}: {exc}")
+    races = None
+    if sanitizer is not None:
+        races = [r.to_json() for r in sanitizer.reports]
     return JobOutcome(item.key, STATUS_OK,
-                      snapshot=ResultSnapshot.from_result(result))
+                      snapshot=ResultSnapshot.from_result(result, races=races))
 
 
 def map_ordered(fn, items: list, jobs: int = 1, retries: int = 1) -> list:

@@ -42,10 +42,14 @@ class ResultSnapshot:
     pe_regs: list = field(default_factory=list)
     pe_flags: list = field(default_factory=list)
     mem_words: list = field(default_factory=list)
-    schema: int = 1
+    # Sanitizer race reports as JSON-safe dicts; None when the run was
+    # not sanitized (distinct from [], a sanitized-and-clean run).
+    races: list | None = None
+    schema: int = 2
 
     @classmethod
-    def from_result(cls, result) -> "ResultSnapshot":
+    def from_result(cls, result, races: list | None = None,
+                    ) -> "ResultSnapshot":
         """Capture a finished ``RunResult`` (or compatible object)."""
         proc = result.processor
         return cls(
@@ -54,6 +58,7 @@ class ResultSnapshot:
             pe_regs=proc.pe.regs.tolist(),
             pe_flags=proc.pe.flags.astype(np.int64).tolist(),
             mem_words=[int(w) for w in proc.mem.dump(0, proc.mem.words)],
+            races=races,
         )
 
     # -- RunResult-compatible accessors -------------------------------------
@@ -78,7 +83,7 @@ class ResultSnapshot:
 
     def to_json(self) -> dict:
         """Deterministic JSON-safe dict (service replies, ``run --json``)."""
-        return {
+        out = {
             "schema": self.schema,
             "stats": stats_to_json(self.stats),
             "scalars": {
@@ -95,6 +100,9 @@ class ResultSnapshot:
             "memory_nonzero": {str(i): w for i, w in enumerate(self.mem_words)
                                if w},
         }
+        if self.races is not None:
+            out["races"] = self.races
+        return out
 
 
 def stats_to_json(stats: Stats) -> dict:

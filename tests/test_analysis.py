@@ -402,7 +402,7 @@ worker:
 """
         assert diags_of(source, "thread-context") == []
 
-    def test_scalar_mem_race_triggers(self):
+    def test_cross_thread_race_triggers(self):
         source = """
 .text
     tspawn s1, worker
@@ -415,11 +415,12 @@ worker:
     sw   s3, 8(s0)
     texit
 """
-        out = diags_of(source, "scalar-mem-race")
+        out = diags_of(source, "cross-thread-race")
         assert len(out) == 1
         assert "word 8" in out[0].message
+        assert out[0].data["addr"] == 8
 
-    def test_scalar_mem_race_clean_after_join(self):
+    def test_cross_thread_race_clean_after_join(self):
         source = """
 .text
     tspawn s1, worker
@@ -431,7 +432,7 @@ worker:
     sw   s3, 8(s0)
     texit
 """
-        assert diags_of(source, "scalar-mem-race") == []
+        assert diags_of(source, "cross-thread-race") == []
 
     def test_all_kernels_lint_clean(self):
         cfg = cfg_1t(pes=32)
@@ -450,7 +451,8 @@ worker:
     def test_all_checks_registry(self):
         assert set(ALL_CHECKS) == {
             "uninitialized-read", "unreachable-code", "mask-scope",
-            "thread-context", "scalar-mem-race", "unguarded-reduction"}
+            "thread-context", "cross-thread-race", "lost-delivery",
+            "thread-lifecycle", "unguarded-reduction"}
 
 
 # ---------------------------------------------------------------------------
