@@ -50,3 +50,46 @@ def test_simulation_throughput(benchmark, pes):
     # Practicality bar: at least 10k simulated cycles per host second
     # even on the largest machine (typically far higher).
     assert result.stats.cycles / mean_s > 10_000
+
+
+def test_profiler_overhead(benchmark):
+    """BENCH_obs — the cycle profiler's cost, and the detached run's
+    freedom from it.
+
+    The profiler hooks into the core through ``is not None`` guards, so
+    a detached machine must be *bit-identical* to one that never heard
+    of profiling (asserted on pickled snapshots, the strong form), and
+    an attached run should cost only a modest constant factor.
+    """
+    import pickle
+    import time
+
+    from repro.obs import CycleProfiler
+    from repro.serve.snapshot import ResultSnapshot
+
+    cfg, program = make_ready(256)
+
+    def run_once(profiler=None):
+        return Processor(cfg, profiler=profiler).run(program)
+
+    detached = benchmark(run_once)
+    attached = run_once(CycleProfiler())
+    assert pickle.dumps(ResultSnapshot.from_result(detached)) == \
+        pickle.dumps(ResultSnapshot.from_result(attached))
+
+    started = time.perf_counter()
+    run_once(CycleProfiler())
+    attached_s = time.perf_counter() - started
+    detached_s = benchmark.stats.stats.mean
+
+    exp = Experiment("BENCH_obs", "cycle-profiler overhead at p=256")
+    t = exp.new_table(("metric", "value"))
+    t.add_row("detached host seconds / run", round(detached_s, 4))
+    t.add_row("attached host seconds / run", round(attached_s, 4))
+    t.add_row("attached / detached", round(attached_s / detached_s, 2))
+    t.add_row("snapshots bit-identical", "yes")
+    exp.report()
+
+    # Lenient bound — shared CI machines are noisy; the real guarantee
+    # is the bit-identity assertion above.
+    assert attached_s / detached_s < 10

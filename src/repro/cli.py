@@ -5,6 +5,7 @@ Commands
 ``asm``      assemble a .s file to a hex word listing
 ``disasm``   disassemble a hex word listing
 ``run``      run a program on the cycle-accurate simulator
+``profile``  run under the cycle profiler; text report / JSON / trace
 ``lint``     static hazard/dataflow analysis of a program
 ``faultsim`` seeded fault-injection campaign over a library kernel
 ``batch``    run a JSON jobs file through the cache + worker pool
@@ -14,14 +15,21 @@ Commands
 
 ``run --sanitize`` attaches the vector-clock race sanitizer
 (:mod:`repro.core.sanitizer`) to the simulation and exits 3 when it
-reports cross-thread races; ``lint`` exits 1 on input or assembly
-errors and 2 when ``--strict`` sees error/warning findings.
+reports cross-thread races; ``run --profile`` attaches the cycle
+profiler (:mod:`repro.obs`) and adds the attribution to the output;
+``lint`` exits 1 on input or assembly errors and 2 when ``--strict``
+sees error/warning findings.  ``profile`` is the dedicated front-end:
+per-opcode/per-cause report, ``--json`` attribution dump, and
+``--trace-out`` Chrome-trace export for ``chrome://tracing`` or
+Perfetto.
 
 Examples::
 
     python -m repro run program.s --pes 64 --threads 16 --trace
     python -m repro run program.s --json
     python -m repro run program.s --sanitize --json
+    python -m repro run program.s --profile
+    python -m repro profile program.s --trace-out trace.json
     python -m repro lint program.s --strict --json
     python -m repro faultsim --kernel count_matches --faults 100 --jobs 4
     python -m repro batch jobs.json --jobs 4 --cache-dir /tmp/repro-cache
@@ -130,6 +138,20 @@ def cmd_disasm(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_lmem_args(proc: Processor, args: argparse.Namespace,
+                    cfg: ProcessorConfig) -> None:
+    """Apply ``--lmem COL=V1,V2,...`` options to a loaded machine."""
+    for spec in args.lmem or []:
+        col_text, _, values_text = spec.partition("=")
+        values = [int(v, 0) for v in values_text.split(",") if v]
+        import numpy as np
+
+        padded = np.zeros(cfg.num_pes, dtype=np.int64)
+        padded[:min(len(values), cfg.num_pes)] = \
+            values[:cfg.num_pes]
+        proc.pe.set_lmem_column(int(col_text), padded)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     cfg = _config_from_args(args)
     source = open(args.file).read()
@@ -143,17 +165,15 @@ def cmd_run(args: argparse.Namespace) -> int:
         from repro.core.sanitizer import RaceSanitizer
 
         sanitizer = RaceSanitizer()
-    proc = Processor(cfg, trace=args.trace, sanitizer=sanitizer)
-    proc.load(program)
-    for spec in args.lmem or []:
-        col_text, _, values_text = spec.partition("=")
-        values = [int(v, 0) for v in values_text.split(",") if v]
-        import numpy as np
+    profiler = None
+    if getattr(args, "profile", False):
+        from repro.obs import CycleProfiler
 
-        padded = np.zeros(cfg.num_pes, dtype=np.int64)
-        padded[:min(len(values), cfg.num_pes)] = \
-            values[:cfg.num_pes]
-        proc.pe.set_lmem_column(int(col_text), padded)
+        profiler = CycleProfiler()
+    proc = Processor(cfg, trace=args.trace, sanitizer=sanitizer,
+                     profiler=profiler)
+    proc.load(program)
+    _load_lmem_args(proc, args, cfg)
     try:
         result = proc.run(max_cycles=args.max_cycles)
     except SimulationError as exc:
@@ -163,7 +183,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.json:
         from repro.serve.snapshot import ResultSnapshot
 
-        snap = ResultSnapshot.from_result(result)
+        snap = ResultSnapshot.from_result(
+            result,
+            profile=profiler.to_json() if profiler is not None else None)
         payload = {"machine": cfg.describe(), "file": args.file,
                    **snap.to_json()}
         if sanitizer is not None:
@@ -183,6 +205,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         print()
         print(render_trace(result.trace, cfg,
                            show_thread=cfg.num_threads > 1))
+    if profiler is not None:
+        from repro.obs import render_report
+
+        print()
+        print(render_report(profiler))
     if sanitizer is not None:
         if sanitizer.clean:
             print("sanitizer: no races detected")
@@ -192,6 +219,44 @@ def cmd_run(args: argparse.Namespace) -> int:
             for report in sanitizer.reports:
                 print(f"  {report.format()}", file=sys.stderr)
             return 3
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs import CycleProfiler, render_report, write_trace
+
+    cfg = _config_from_args(args)
+    source = open(args.file).read()
+    try:
+        program = assemble(source, word_width=cfg.word_width)
+    except AsmError as exc:
+        print(f"assembly error: {exc}", file=sys.stderr)
+        return 1
+    profiler = CycleProfiler()
+    # The issue trace feeds the Chrome-trace pipeline-stage tracks.
+    proc = Processor(cfg, trace=True, profiler=profiler)
+    proc.load(program)
+    _load_lmem_args(proc, args, cfg)
+    try:
+        result = proc.run(max_cycles=args.max_cycles)
+    except SimulationError as exc:
+        print(f"simulation error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.trace_out:
+        write_trace(args.trace_out, profiler, result.trace, cfg)
+        print(f"profile: Chrome trace -> {args.trace_out}",
+              file=sys.stderr if args.json else sys.stdout)
+    if args.json:
+        payload = {"machine": cfg.describe(), "file": args.file,
+                   "profile": profiler.to_json()}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"machine: {cfg.describe()}")
+    print(f"cycles: {result.cycles}  instructions: "
+          f"{result.stats.instructions}  IPC: {result.stats.ipc:.4f}")
+    print()
+    print(render_report(profiler))
     return 0
 
 
@@ -332,11 +397,14 @@ def cmd_faultsim(args: argparse.Namespace) -> int:
             print(f"faultsim: unknown fault site in {args.sites!r} "
                   f"(known: {known})", file=sys.stderr)
             return 1
+    from repro.obs import DEFAULT_REGISTRY
+
     try:
         report = run_campaign(
             args.kernel, cfg, faults=args.faults, seed=args.seed,
             sites=sites, parity=not args.no_parity,
-            watchdog_factor=args.watchdog, jobs=args.jobs)
+            watchdog_factor=args.watchdog, jobs=args.jobs,
+            registry=DEFAULT_REGISTRY)
     except ValueError as exc:
         print(f"faultsim: {exc}", file=sys.stderr)
         return 1
@@ -351,12 +419,15 @@ def cmd_faultsim(args: argparse.Namespace) -> int:
 
 
 def _build_cache(args: argparse.Namespace):
+    from repro.obs import DEFAULT_REGISTRY
     from repro.serve.cache import ResultCache, default_cache_dir
 
     if getattr(args, "no_cache", False):
         return ResultCache.disabled()
     cache_dir = args.cache_dir or default_cache_dir()
-    return ResultCache(cache_dir=cache_dir)
+    # CLI entry points publish into the process-wide registry so one
+    # snapshot (`serve` stats reply) covers every layer.
+    return ResultCache(cache_dir=cache_dir, registry=DEFAULT_REGISTRY)
 
 
 def cmd_batch(args: argparse.Namespace) -> int:
@@ -379,7 +450,10 @@ def cmd_batch(args: argparse.Namespace) -> int:
     except JobError as exc:
         print(f"batch: {exc}", file=sys.stderr)
         return 1
-    runner = BatchRunner(cache=_build_cache(args), jobs=args.jobs)
+    from repro.obs import DEFAULT_REGISTRY
+
+    runner = BatchRunner(cache=_build_cache(args), jobs=args.jobs,
+                         registry=DEFAULT_REGISTRY)
     try:
         report = runner.run(jobs)
     except JobError as exc:
@@ -400,12 +474,15 @@ def cmd_batch(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs import DEFAULT_REGISTRY
     from repro.serve.batch import BatchRunner
     from repro.serve.service import serve_forever
 
-    runner = BatchRunner(cache=_build_cache(args), jobs=args.jobs)
+    runner = BatchRunner(cache=_build_cache(args), jobs=args.jobs,
+                         registry=DEFAULT_REGISTRY)
     return serve_forever(runner=runner, max_pending=args.max_pending,
-                         full_results=args.full)
+                         full_results=args.full,
+                         registry=DEFAULT_REGISTRY)
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -487,7 +564,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--sanitize", action="store_true",
                        help="run under the vector-clock race sanitizer; "
                             "exit 3 if any cross-thread races are detected")
+    p_run.add_argument("--profile", action="store_true",
+                       help="attach the cycle profiler; adds the "
+                            "attribution report (or a 'profile' JSON "
+                            "section with --json)")
     p_run.set_defaults(func=cmd_run)
+
+    p_prof = sub.add_parser(
+        "profile", help="cycle-attribution profile of a program run")
+    p_prof.add_argument("file")
+    _add_machine_args(p_prof)
+    p_prof.add_argument("--max-cycles", type=int, default=None)
+    p_prof.add_argument("--lmem", action="append", metavar="COL=V1,V2,...",
+                        help="initialize a PE local-memory column")
+    p_prof.add_argument("--trace-out", default=None, metavar="trace.json",
+                        help="write a Chrome-trace/Perfetto JSON file "
+                             "(open in chrome://tracing)")
+    p_prof.add_argument("--json", action="store_true",
+                        help="emit the attribution as JSON instead of "
+                             "the text report")
+    p_prof.set_defaults(func=cmd_profile)
 
     p_lint = sub.add_parser(
         "lint", help="static hazard/dataflow analysis")

@@ -99,15 +99,18 @@ class Processor:
     """One configured machine instance.  Reusable across programs."""
 
     def __init__(self, config: ProcessorConfig | None = None,
-                 trace: bool = False, faults=None, sanitizer=None) -> None:
+                 trace: bool = False, faults=None, sanitizer=None,
+                 profiler=None) -> None:
         self.cfg = config or ProcessorConfig()
         cfg = self.cfg
-        # Optional fault-injection plane (repro.faults.FaultPlane) and
-        # race sanitizer (repro.core.sanitizer.RaceSanitizer).  All hooks
-        # hide behind "is not None" checks: a machine without them pays
-        # nothing and its cycle-level behaviour is bit-for-bit unchanged.
+        # Optional fault-injection plane (repro.faults.FaultPlane), race
+        # sanitizer (repro.core.sanitizer.RaceSanitizer), and cycle
+        # profiler (repro.obs.CycleProfiler).  All hooks hide behind
+        # "is not None" checks: a machine without them pays nothing and
+        # its cycle-level behaviour is bit-for-bit unchanged.
         self.faults = faults
         self.sanitizer = sanitizer
+        self.profiler = profiler
         self.pe = PEArray(cfg.num_pes, cfg.num_threads, cfg.word_width,
                           cfg.lmem_words)
         self.mem = ScalarMemory(cfg.scalar_mem_words, cfg.word_width)
@@ -175,6 +178,10 @@ class Processor:
             self.faults.attach(self)
         if self.sanitizer is not None:
             self.sanitizer.attach(self)
+        if self.profiler is not None:
+            self.profiler.attach(self)
+            if self.program is not None:
+                self.profiler.on_activate(0, 1)
 
     # -- hazard / readiness evaluation ------------------------------------------
 
@@ -264,6 +271,9 @@ class Processor:
             if target.state is not ThreadState.FREE:
                 thread.state = ThreadState.JOINING
                 thread.join_target = target.tid
+                if self.profiler is not None:
+                    self.profiler.on_join_block(thread.tid, cycle, base,
+                                                cause)
                 return False
 
         if ((spec.is_mul and cfg.multiplier is MultiplierKind.NONE)
@@ -335,9 +345,15 @@ class Processor:
             self.stats.threads_spawned += 1
             if self.fetch is not None:
                 self.fetch.thread_started(outcome.spawned, cycle)
+            if self.profiler is not None:
+                self.profiler.on_activate(outcome.spawned, cycle + 1)
 
         # Statistics and trace.
         self.stats.count_issue(thread.tid, spec.exec_class.value)
+        if self.profiler is not None:
+            self.profiler.on_issue(thread.tid, spec.mnemonic,
+                                   spec.exec_class.value, cycle, base,
+                                   cause, resolve)
         if spec.reduction_unit:
             self.stats.reduction_unit_uses[spec.reduction_unit] += 1
         if self.trace_enabled:
@@ -353,6 +369,8 @@ class Processor:
                 ctx.join_target = None
                 ctx.min_issue = max(ctx.min_issue, cycle + 1)
                 self.stats.wait_cycles[st.STALL_JOIN] += 1
+                if self.profiler is not None:
+                    self.profiler.on_join_wake(ctx.tid, cycle)
 
     # -- main loop ------------------------------------------------------------------
 
@@ -439,11 +457,14 @@ class Processor:
         self._cycle = cycle
         self.stats.cycles = cycle - 1
         self.stats.issue_slots = self.stats.cycles * width
+        if self.profiler is not None and not self.paused:
+            self.profiler.finalize(self)
         return RunResult(self.stats, self, self.trace, paused=self.paused)
 
 
 def run_program(source_or_program, config: ProcessorConfig | None = None,
-                trace: bool = False, **asm_kwargs) -> RunResult:
+                trace: bool = False, profiler=None,
+                **asm_kwargs) -> RunResult:
     """Assemble (if needed) and run a program on a fresh processor."""
     from repro.asm.assembler import assemble
 
@@ -453,5 +474,5 @@ def run_program(source_or_program, config: ProcessorConfig | None = None,
                            **asm_kwargs)
     else:
         program = source_or_program
-    proc = Processor(cfg, trace=trace)
+    proc = Processor(cfg, trace=trace, profiler=profiler)
     return proc.run(program)

@@ -98,6 +98,7 @@ class Stats:
             ("  reduction", self.reduction_instructions),
             ("IPC", round(self.ipc, 4)),
             ("issue-slot utilization", round(self.utilization, 4)),
+            ("fairness (Jain)", round(self.fairness(), 4)),
             ("idle issue slots", self.idle_slots),
         ]
         for cause in ALL_STALL_CAUSES:

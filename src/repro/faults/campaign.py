@@ -201,13 +201,19 @@ def run_campaign(kernel_name: str,
                  sites: list[FaultSite] | None = None,
                  parity: bool = True,
                  watchdog_factor: int = 4,
-                 jobs: int = 1) -> CampaignReport:
+                 jobs: int = 1,
+                 registry=None) -> CampaignReport:
     """Run a seeded fault-injection campaign over one library kernel.
 
     ``jobs`` > 1 fans the per-fault runs out over a process pool
     (``repro.serve.pool``); each fault is an independent simulation and
     results are reassembled in spec order, so the report — including its
     JSON rendering — is byte-identical to the serial campaign.
+
+    ``registry`` (a :class:`~repro.obs.MetricsRegistry`) receives
+    ``fault_campaigns_total``, ``fault_runs_total{outcome}``, and the
+    ``fault_campaign_coverage`` gauge when given; the report itself is
+    unaffected, so metrics never perturb reproducibility.
     """
     if kernel_name not in ALL_KERNEL_BUILDERS:
         raise ValueError(f"unknown kernel {kernel_name!r}; choose from "
@@ -232,5 +238,18 @@ def run_campaign(kernel_name: str,
 
     tasks = [_FaultTask(spec, program, cfg, kernel, parity, watchdog,
                         golden_out) for spec in specs]
-    report.results.extend(map_ordered(_run_one_fault, tasks, jobs=jobs))
+    report.results.extend(map_ordered(_run_one_fault, tasks, jobs=jobs,
+                                      registry=registry))
+    if registry is not None:
+        registry.counter("fault_campaigns_total",
+                         "fault-injection campaigns executed").inc()
+        runs = registry.counter("fault_runs_total",
+                                "fault injections classified, by outcome",
+                                labels=("outcome",))
+        for outcome, n in report.counts.items():
+            if n:
+                runs.inc(n, outcome=outcome)
+        registry.gauge("fault_campaign_coverage",
+                       "detection coverage of the latest campaign",
+                       ).set(round(report.coverage, 6))
     return report

@@ -1,0 +1,58 @@
+"""Observability: metrics registry, cycle profiler, trace export.
+
+One telemetry spine for the whole reproduction.  The *metrics registry*
+(:class:`MetricsRegistry`) collects operational counters from the serve
+stack and the fault-campaign runner and exports them as a JSON snapshot
+or Prometheus text.  The *cycle profiler* (:class:`CycleProfiler`)
+attaches to the core through zero-overhead hooks and attributes every
+thread-cycle of a run to exactly one bucket — the per-cycle companion
+to the paper's Section 4.2/6 stall accounting.  The *exporters* turn a
+profile into a Chrome-trace/Perfetto JSON file, a per-opcode/per-cause
+text report, and a Figure-2 hazard timeline.  See docs/OBSERVABILITY.md.
+"""
+
+from repro.obs.chrome_trace import (
+    TRACE_SCHEMA,
+    build_trace,
+    render_trace,
+    write_trace,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    DEFAULT_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+from repro.obs.profiler import (
+    ALL_KINDS,
+    HAZARD_CLASSES,
+    PROFILE_SCHEMA,
+    CycleProfiler,
+    Interval,
+    render_hazard_timeline,
+    render_report,
+)
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "build_trace",
+    "render_trace",
+    "write_trace",
+    "DEFAULT_BUCKETS",
+    "DEFAULT_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "ALL_KINDS",
+    "HAZARD_CLASSES",
+    "PROFILE_SCHEMA",
+    "CycleProfiler",
+    "Interval",
+    "render_hazard_timeline",
+    "render_report",
+]

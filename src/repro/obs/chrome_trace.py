@@ -1,0 +1,190 @@
+"""Chrome-trace / Perfetto JSON export of a profiled run.
+
+Produces the Trace Event Format consumed by ``chrome://tracing`` and
+https://ui.perfetto.dev: load the file and see one track per hardware
+thread (cycle attribution from :class:`~repro.obs.profiler.CycleProfiler`),
+one track per pipeline stage (from the issue trace, Figure-1 stage
+occupancy), and one hazard track per thread showing only Figure 2's
+three hazard classes.
+
+Conventions, locked down by golden-file tests (tests/test_obs.py):
+
+* one timestamp tick == one machine cycle (``displayTimeUnit`` is
+  cosmetic);
+* thread and hazard durations are ``B``/``E`` pairs — the profiler's
+  tiling guarantees they nest validly per track, and the ``E`` event
+  sorts before any same-timestamp ``B`` on its track; stage occupancies
+  are ``X`` *complete* events (``ts`` + ``dur``) because one mapped
+  stage track legitimately holds several in-flight instructions at once
+  (multi-cycle ``EX``, the resolver pipeline);
+* event dicts have a fixed key order (name, cat, ph, ts[, dur], pid,
+  tid, args) and the event list is globally sorted by timestamp, so
+  output is deterministic byte-for-byte;
+* pid 0 = thread attribution, pid 1 = pipeline stages, pid 2 = hazard
+  stalls; metadata (``ph: "M"``) events name every track.
+
+The pipeline-stage tracks apply the same stage-name mapping as the VCD
+exporter (multi-cycle ``EXn`` occupies ``EX``; resolver ``X*`` prefixes
+map onto ``R1``), so every stage value-change in
+:func:`repro.core.vcd.build_vcd` appears here with identical cycle
+bounds — a cross-check test walks both renderings.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.config import ProcessorConfig
+from repro.core.timing import stage_schedule
+from repro.core.vcd import _stage_order
+from repro.obs.profiler import (
+    HAZARD_CLASSES,
+    K_FREE,
+    K_WAIT,
+    CycleProfiler,
+)
+
+# Track process ids.
+PID_THREADS = 0
+PID_STAGES = 1
+PID_HAZARDS = 2
+
+#: Shape of the emitted JSON, stamped into ``otherData``.
+TRACE_SCHEMA = 1
+
+
+def _event(name: str, cat: str, ph: str, ts: int, pid: int, tid: int,
+           args: dict | None = None) -> dict:
+    out = {"name": name, "cat": cat, "ph": ph, "ts": ts,
+           "pid": pid, "tid": tid}
+    if args is not None:
+        out["args"] = args
+    return out
+
+
+def _meta(name: str, pid: int, tid: int, value: str) -> dict:
+    return {"name": name, "ph": "M", "ts": 0, "pid": pid, "tid": tid,
+            "args": {"name": value}}
+
+
+def _span(name: str, cat: str, start: int, end: int, pid: int, tid: int,
+          args: dict | None = None) -> list[dict]:
+    return [_event(name, cat, "B", start, pid, tid, args),
+            _event(name, cat, "E", end, pid, tid)]
+
+
+def _complete(name: str, cat: str, start: int, end: int, pid: int,
+              tid: int, args: dict) -> dict:
+    return {"name": name, "cat": cat, "ph": "X", "ts": start,
+            "dur": end - start, "pid": pid, "tid": tid, "args": args}
+
+
+def map_stage(stage: str) -> str:
+    """The VCD exporter's stage-name mapping, shared verbatim."""
+    if stage.startswith("EX") and stage != "EX":
+        return "EX"
+    if stage.startswith("X"):
+        return "R1"
+    return stage
+
+
+def _stage_spans(records, cfg: ProcessorConfig):
+    """Per issue record: contiguous ``(stage, start, end)`` occupancies
+    after stage-name mapping — the unit the VCD cross-check compares."""
+    for rec in records:
+        occupied: dict[str, list[int]] = {}
+        for slot in stage_schedule(rec.instr.spec, cfg, rec.cycle,
+                                   rec.fetch_cycle):
+            occupied.setdefault(map_stage(slot.stage), []).append(
+                slot.cycle)
+        for stage, cycles in occupied.items():
+            cycles.sort()
+            start = prev = cycles[0]
+            for cyc in cycles[1:]:
+                if cyc != prev + 1:
+                    yield rec, stage, start, prev + 1
+                    start = cyc
+                prev = cyc
+            yield rec, stage, start, prev + 1
+
+
+def build_trace(profiler: CycleProfiler, records=None,
+                cfg: ProcessorConfig | None = None) -> dict:
+    """Render a finalized profile (plus optional issue trace) to the
+    Trace Event Format as a JSON-safe dict."""
+    meta: list[dict] = [_meta("process_name", PID_THREADS, 0,
+                              "hardware threads")]
+    events: list[dict] = []
+
+    for tid in range(profiler.num_threads):
+        meta.append(_meta("thread_name", PID_THREADS, tid,
+                          f"thread {tid}"))
+        for iv in profiler.intervals.get(tid, ()):
+            if iv.kind == K_FREE:
+                continue
+            name = f"{iv.kind}:{iv.detail}" if iv.detail else iv.kind
+            events.extend(_span(name, iv.kind, iv.start, iv.end,
+                                PID_THREADS, tid,
+                                {"detail": iv.detail,
+                                 "cycles": iv.cycles}))
+
+    hazard_tids = sorted(
+        tid for tid, spans in profiler.intervals.items()
+        if any(iv.kind == K_WAIT and iv.detail in HAZARD_CLASSES
+               for iv in spans))
+    if hazard_tids:
+        meta.append(_meta("process_name", PID_HAZARDS, 0,
+                          "hazard stalls (Figure 2)"))
+    for tid in hazard_tids:
+        meta.append(_meta("thread_name", PID_HAZARDS, tid,
+                          f"thread {tid} hazards"))
+        for iv in profiler.intervals[tid]:
+            if iv.kind == K_WAIT and iv.detail in HAZARD_CLASSES:
+                events.extend(_span(iv.detail, "hazard", iv.start,
+                                    iv.end, PID_HAZARDS, tid,
+                                    {"cycles": iv.cycles}))
+
+    if records:
+        if cfg is None:
+            raise ValueError("stage tracks need the machine config")
+        stages = _stage_order(cfg)
+        index = {name: i for i, name in enumerate(stages)}
+        meta.append(_meta("process_name", PID_STAGES, 0,
+                          "pipeline stages"))
+        for i, name in enumerate(stages):
+            meta.append(_meta("thread_name", PID_STAGES, i, name))
+        for rec, stage, start, end in _stage_spans(records, cfg):
+            if stage not in index:
+                continue
+            events.append(_complete(
+                rec.instr.spec.mnemonic, "stage", start, end,
+                PID_STAGES, index[stage],
+                {"pc": rec.pc, "thread": rec.thread, "stage": stage}))
+
+    # Global sort: by timestamp, then track, with E before same-ts B on
+    # the same track so durations nest validly.
+    events.sort(key=lambda e: (e["ts"], e["pid"], e["tid"],
+                               0 if e["ph"] == "E" else 1, e["name"]))
+    return {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": TRACE_SCHEMA,
+            "unit": "1 ts tick = 1 machine cycle",
+            "cycles": profiler.cycles,
+            "threads": profiler.num_threads,
+        },
+    }
+
+
+def render_trace(profiler: CycleProfiler, records=None,
+                 cfg: ProcessorConfig | None = None) -> str:
+    """The canonical on-disk rendering (byte-stable; golden-tested)."""
+    return json.dumps(build_trace(profiler, records, cfg), indent=1) + "\n"
+
+
+def write_trace(path, profiler: CycleProfiler, records=None,
+                cfg: ProcessorConfig | None = None) -> None:
+    """Write a profiled run to a Chrome-trace JSON file."""
+    with open(path, "w") as fh:
+        fh.write(render_trace(profiler, records, cfg))

@@ -1,0 +1,379 @@
+"""Cycle-attribution profiler for the multithreaded core.
+
+:class:`CycleProfiler` attaches to :class:`repro.core.processor.Processor`
+through the same zero-overhead ``is not None`` hook pattern as the fault
+plane and the race sanitizer: a detached machine executes the exact same
+code path and its results are bit-identical (tests/test_obs.py asserts
+this on pickled snapshots).
+
+Attribution model — the conservation invariant
+----------------------------------------------
+
+Every hardware thread context owns one issue opportunity per machine
+cycle, so a run of ``C`` cycles on ``T`` contexts has exactly ``T x C``
+thread-cycles to account for.  The profiler tiles the half-open span
+``[1, C+1)`` of every context with non-overlapping intervals, each
+tagged with one *kind*:
+
+============  =============================================================
+kind          meaning
+============  =============================================================
+``issue``     the cycle an instruction issued (detail: mnemonic)
+``wait``      stalled behind a hazard (detail: ``Stats.wait_cycles`` cause)
+``control``   bubble after a taken branch / jump (the ``resolve`` window)
+``frontend``  waiting on fetch delivery / post-activation ramp
+``scheduler`` ready but not selected (arbitration loss, coarse switch)
+``join``      blocked in ``tjoin`` on a live thread
+``free``      context not allocated to any software thread
+``drain``     runnable at halt; cycles after the thread's last issue
+============  =============================================================
+
+``sum(end - start) == T x C`` always — no cycle is dropped or counted
+twice.  tests/test_obs.py drives generated multithreaded programs
+through every scheduling mode and checks the tiling exactly.
+
+Two views, one truth
+--------------------
+
+The *timeline* above is a per-cycle attribution.  ``Stats`` accounting
+is per-*instruction* and is allowed to book time out-of-band: a control
+bubble is charged at issue of the branch (in advance, even if the run
+halts inside the bubble), and a ``tjoin`` wake charges one cycle no
+matter how long the join slept.  The profiler therefore also keeps
+*mirror counters* (:attr:`wait_counts`, :attr:`issue_counts`) that
+increment in exact lockstep with every ``Stats`` update site, so
+
+* ``profile.wait_by_cause() == dict(stats.wait_cycles)`` and
+* ``sum(issue_counts.values()) == stats.instructions``
+
+hold exactly, while the timeline independently satisfies conservation.
+
+A profiler is valid after a *completed* run (``RunResult.paused`` False
+and no :class:`~repro.core.processor.SimulationError`); the processor
+finalizes it right after the cycle counters settle.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core import stats as st
+
+# Timeline interval kinds.
+K_ISSUE = "issue"
+K_WAIT = "wait"
+K_CONTROL = "control"
+K_FRONTEND = "frontend"
+K_SCHEDULER = "scheduler"
+K_JOIN = "join"
+K_FREE = "free"
+K_DRAIN = "drain"
+
+ALL_KINDS = (K_ISSUE, K_WAIT, K_CONTROL, K_FRONTEND, K_SCHEDULER,
+             K_JOIN, K_FREE, K_DRAIN)
+
+#: Current shape of :meth:`CycleProfiler.to_json`.
+PROFILE_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One attributed span of thread-cycles, end-exclusive."""
+
+    start: int
+    end: int
+    kind: str
+    detail: str = ""
+
+    @property
+    def cycles(self) -> int:
+        return self.end - self.start
+
+    def to_json(self) -> list:
+        return [self.start, self.end, self.kind, self.detail]
+
+
+class CycleProfiler:
+    """Attributes every thread-cycle of a run to exactly one bucket."""
+
+    def __init__(self) -> None:
+        self.num_threads = 0
+        self.cycles = 0
+        self.finalized = False
+        self.intervals: dict[int, list[Interval]] = {}
+        # Mirror counters, lockstep with Stats update sites.
+        self.issue_counts: Counter = Counter()     # (tid, mnemonic)
+        self.class_counts: Counter = Counter()     # exec-class value
+        self.wait_counts: Counter = Counter()      # (tid, cause)
+        # Per-context attribution cursors.
+        self._cursor: dict[int, int] = {}
+        self._pending_control: dict[int, int] = {}
+        self._block_start: dict[int, int | None] = {}
+        self._activated: set[int] = set()
+
+    # -- processor hooks ---------------------------------------------------------
+
+    def attach(self, processor) -> None:
+        """Reset and bind to a freshly-reset processor (from ``reset()``)."""
+        self.num_threads = processor.cfg.num_threads
+        self.cycles = 0
+        self.finalized = False
+        self.intervals = {tid: [] for tid in range(self.num_threads)}
+        self.issue_counts = Counter()
+        self.class_counts = Counter()
+        self.wait_counts = Counter()
+        self._cursor = {tid: 1 for tid in range(self.num_threads)}
+        self._pending_control = {tid: 0 for tid in range(self.num_threads)}
+        self._block_start = {tid: None for tid in range(self.num_threads)}
+        self._activated = set()
+
+    def on_activate(self, tid: int, start_cycle: int) -> None:
+        """A context was allocated; it may issue from ``start_cycle``."""
+        self._emit(tid, start_cycle, K_FREE)
+        self._pending_control[tid] = 0
+        self._block_start[tid] = None
+        self._activated.add(tid)
+
+    def on_issue(self, tid: int, mnemonic: str, exec_class: str,
+                 cycle: int, base: int, cause: str | None,
+                 resolve: int) -> None:
+        """An instruction issued at ``cycle``; ``base`` is the earliest
+        cycle it could have issued and ``cause`` the binding hazard (if
+        any) that pushed readiness past ``base``."""
+        self._flush_to_base(tid, base)
+        if cycle > base:
+            if cause is not None:
+                self._emit(tid, cycle, K_WAIT, cause)
+                self.wait_counts[(tid, cause)] += cycle - base
+            else:
+                self._emit(tid, cycle, K_SCHEDULER)
+        self._emit(tid, cycle + 1, K_ISSUE, mnemonic)
+        self.issue_counts[(tid, mnemonic)] += 1
+        self.class_counts[exec_class] += 1
+        if resolve > 1:
+            self._pending_control[tid] = resolve - 1
+            self.wait_counts[(tid, st.STALL_CONTROL)] += resolve - 1
+
+    def on_join_block(self, tid: int, cycle: int, base: int,
+                      cause: str | None) -> None:
+        """A ``tjoin`` reached issue at ``cycle`` but its target is live."""
+        self._flush_to_base(tid, base)
+        if cycle > base:
+            self._emit(tid, cycle, K_WAIT if cause is not None
+                       else K_SCHEDULER, cause or "")
+        self._block_start[tid] = self._cursor[tid]
+
+    def on_join_wake(self, tid: int, wake_cycle: int) -> None:
+        """The join target exited at ``wake_cycle``; the joiner may issue
+        from ``wake_cycle + 1``."""
+        start = self._block_start[tid]
+        if start is None:
+            start = self._cursor[tid]
+        self._cursor[tid] = start
+        self._emit(tid, wake_cycle + 1, K_JOIN)
+        self._block_start[tid] = None
+        self.wait_counts[(tid, st.STALL_JOIN)] += 1
+
+    def finalize(self, processor) -> None:
+        """Close every context's timeline at end-of-run."""
+        self.cycles = processor.stats.cycles
+        end = self.cycles + 1
+        for tid in range(self.num_threads):
+            ctx = processor.threads[tid]
+            if self._block_start[tid] is not None:
+                self._cursor[tid] = self._block_start[tid]
+                self._emit(tid, end, K_JOIN)
+                continue
+            if ctx.state.name == "FREE":
+                self._emit(tid, end, K_FREE)
+                continue
+            pending = min(self._pending_control[tid],
+                          end - self._cursor[tid])
+            if pending > 0:
+                self._emit(tid, self._cursor[tid] + pending, K_CONTROL)
+            self._emit(tid, end, K_DRAIN)
+        self.finalized = True
+
+    # -- attribution helpers -----------------------------------------------------
+
+    def _emit(self, tid: int, end: int, kind: str,
+              detail: str = "") -> None:
+        """Attribute ``[cursor, end)`` to ``kind`` and advance the cursor."""
+        start = self._cursor[tid]
+        if end <= start:
+            return
+        spans = self.intervals[tid]
+        if spans and spans[-1].kind == kind and spans[-1].detail == detail \
+                and spans[-1].end == start:
+            spans[-1] = Interval(spans[-1].start, end, kind, detail)
+        else:
+            spans.append(Interval(start, end, kind, detail))
+        self._cursor[tid] = end
+
+    def _flush_to_base(self, tid: int, base: int) -> None:
+        """Attribute the pre-``base`` gap: control bubble first (as booked
+        at the previous issue), then fetch/frontend delay."""
+        pending = min(self._pending_control[tid],
+                      base - self._cursor[tid])
+        if pending > 0:
+            self._emit(tid, self._cursor[tid] + pending, K_CONTROL)
+        self._pending_control[tid] = 0
+        self._emit(tid, base, K_FRONTEND)
+
+    # -- aggregation -------------------------------------------------------------
+
+    def bucket_totals(self) -> Counter:
+        """Timeline cycles per kind; sums to ``num_threads * cycles``."""
+        totals: Counter = Counter()
+        for spans in self.intervals.values():
+            for iv in spans:
+                totals[iv.kind] += iv.cycles
+        return totals
+
+    def timeline_wait_totals(self) -> Counter:
+        """Timeline cycles per wait cause (the per-cycle view)."""
+        totals: Counter = Counter()
+        for spans in self.intervals.values():
+            for iv in spans:
+                if iv.kind == K_WAIT:
+                    totals[iv.detail] += iv.cycles
+        return totals
+
+    def wait_by_cause(self) -> dict[str, int]:
+        """Mirror-counter view; equals ``dict(stats.wait_cycles)`` exactly."""
+        totals: Counter = Counter()
+        for (_tid, cause), n in self.wait_counts.items():
+            totals[cause] += n
+        return dict(totals)
+
+    def issue_by_opcode(self) -> dict[str, int]:
+        """Issue counts per mnemonic; sums to ``stats.instructions``."""
+        totals: Counter = Counter()
+        for (_tid, mnemonic), n in self.issue_counts.items():
+            totals[mnemonic] += n
+        return dict(totals)
+
+    def issue_by_class(self) -> dict[str, int]:
+        return dict(self.class_counts)
+
+    def occupancy(self, tid: int) -> float:
+        """Fraction of the run this context spent issuing instructions."""
+        if not self.cycles:
+            return 0.0
+        issued = sum(iv.cycles for iv in self.intervals.get(tid, ())
+                     if iv.kind == K_ISSUE)
+        return issued / self.cycles
+
+    def thread_summary(self) -> dict[int, dict]:
+        out: dict[int, dict] = {}
+        for tid in range(self.num_threads):
+            kinds: Counter = Counter()
+            for iv in self.intervals.get(tid, ()):
+                kinds[iv.kind] += iv.cycles
+            out[tid] = {
+                "issued": sum(n for (t, _m), n in self.issue_counts.items()
+                              if t == tid),
+                "occupancy": round(self.occupancy(tid), 6),
+                "cycles": {k: kinds[k] for k in ALL_KINDS if kinds[k]},
+            }
+        return out
+
+    # -- export ------------------------------------------------------------------
+
+    def to_json(self) -> dict:
+        """Deterministic JSON-safe dump of the whole profile."""
+        return {
+            "schema": PROFILE_SCHEMA,
+            "cycles": self.cycles,
+            "threads": self.num_threads,
+            "buckets": {k: v for k, v in sorted(
+                self.bucket_totals().items())},
+            "issue_by_opcode": dict(sorted(
+                self.issue_by_opcode().items())),
+            "issue_by_class": dict(sorted(
+                self.issue_by_class().items())),
+            "wait_by_cause": dict(sorted(self.wait_by_cause().items())),
+            "timeline_wait_by_cause": dict(sorted(
+                self.timeline_wait_totals().items())),
+            "per_thread": {str(tid): summary for tid, summary in
+                           sorted(self.thread_summary().items())},
+            "timeline": {str(tid): [iv.to_json() for iv in spans]
+                         for tid, spans in sorted(self.intervals.items())},
+        }
+
+
+# Figure 2's three hazard classes, in the paper's presentation order.
+HAZARD_CLASSES = (st.STALL_BROADCAST, st.STALL_REDUCTION,
+                  st.STALL_BCAST_REDUCTION)
+
+
+def render_report(profiler: CycleProfiler, width: int = 46) -> str:
+    """Per-opcode / per-cause text report plus the hazard timeline."""
+    from repro.util.tables import format_table
+
+    total = profiler.num_threads * profiler.cycles
+    rows = [("cycles", profiler.cycles),
+            ("thread contexts", profiler.num_threads),
+            ("thread-cycles", total)]
+    for kind, n in sorted(profiler.bucket_totals().items(),
+                          key=lambda kv: (-kv[1], kv[0])):
+        share = n / total if total else 0.0
+        rows.append((f"  {kind}", f"{n}  ({share:.1%})"))
+    sections = [format_table(("bucket", "thread-cycles"), rows,
+                             title="cycle attribution")]
+
+    op_rows = sorted(profiler.issue_by_opcode().items(),
+                     key=lambda kv: (-kv[1], kv[0]))
+    if op_rows:
+        sections.append(format_table(
+            ("opcode", "issued"), op_rows, title="issue by opcode",
+            align_right_from=1))
+
+    wait_rows = [(cause, n) for cause, n in sorted(
+        profiler.wait_by_cause().items(), key=lambda kv: (-kv[1], kv[0]))
+        if n]
+    if wait_rows:
+        sections.append(format_table(
+            ("cause", "wait cycles"), wait_rows, title="wait by cause",
+            align_right_from=1))
+
+    sections.append(render_hazard_timeline(profiler, width=width))
+    return "\n\n".join(sections)
+
+
+def render_hazard_timeline(profiler: CycleProfiler,
+                           width: int = 46) -> str:
+    """ASCII strip chart of Figure 2's hazard classes per thread.
+
+    One row per context; each column is a slice of the run.  A column
+    shows ``B`` (broadcast hazard), ``R`` (reduction hazard), ``X``
+    (broadcast-reduction hazard) when the thread spent any of that slice
+    stalled in the corresponding class, ``#`` when it issued, ``.``
+    otherwise.  Hazard marks win over issue marks so stall structure
+    stays visible at any zoom.
+    """
+    marks = {st.STALL_BROADCAST: "B", st.STALL_REDUCTION: "R",
+             st.STALL_BCAST_REDUCTION: "X"}
+    cycles = max(profiler.cycles, 1)
+    width = max(1, min(width, cycles))
+    lines = ["hazard timeline (B=broadcast, R=reduction, "
+             "X=bcast-reduction, #=issue, .=other)"]
+    for tid in range(profiler.num_threads):
+        cells = ["."] * width
+        rank = {".": 0, "#": 1, "B": 2, "R": 2, "X": 2}
+        for iv in profiler.intervals.get(tid, ()):
+            if iv.kind == K_ISSUE:
+                mark = "#"
+            elif iv.kind == K_WAIT and iv.detail in marks:
+                mark = marks[iv.detail]
+            else:
+                continue
+            # Cycle c lives in [1, cycles]; map to a column.
+            lo = (iv.start - 1) * width // cycles
+            hi = max(lo + 1, (iv.end - 1) * width // cycles)
+            for col in range(lo, min(hi, width)):
+                if rank[mark] > rank[cells[col]]:
+                    cells[col] = mark
+        lines.append(f"  t{tid}: |{''.join(cells)}|")
+    return "\n".join(lines)

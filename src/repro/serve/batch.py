@@ -18,6 +18,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import MetricsRegistry
 from repro.serve.cache import ResultCache
 from repro.serve.jobs import Job
 from repro.serve.pool import JobOutcome, run_prepared
@@ -129,13 +130,29 @@ class BatchReport:
 
 
 class BatchRunner:
-    """Run batches of :class:`~repro.serve.jobs.Job` through cache + pool."""
+    """Run batches of :class:`~repro.serve.jobs.Job` through cache + pool.
+
+    ``registry`` is the :class:`~repro.obs.MetricsRegistry` the runner
+    (and the pool beneath it) publishes into; when omitted a private
+    registry is created so library use stays hermetic.  The CLI entry
+    points pass the process-wide default so one snapshot covers the
+    cache, pool, batch, and service layers together.
+    """
 
     def __init__(self, cache: ResultCache | None = None, jobs: int = 1,
-                 retries: int = 1) -> None:
+                 retries: int = 1, registry: MetricsRegistry | None = None,
+                 ) -> None:
         self.cache = cache if cache is not None else ResultCache.disabled()
         self.jobs = jobs
         self.retries = retries
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._batches = self.registry.counter(
+            "batch_runs_total", "batches executed by the batch runner")
+        self._jobs_by_origin = self.registry.counter(
+            "batch_jobs_total", "batch jobs served, by result origin",
+            labels=("origin",))
+        self._elapsed = self.registry.histogram(
+            "batch_elapsed_seconds", "wall time of whole batches")
 
     def run(self, jobs: list[Job]) -> BatchReport:
         """Execute a batch; results are ordered like the request."""
@@ -163,7 +180,8 @@ class BatchRunner:
                 origins.append(ORIGIN_COMPUTED)
 
         outcomes = run_prepared(to_compute, jobs=self.jobs,
-                                retries=self.retries)
+                                retries=self.retries,
+                                registry=self.registry)
         by_key: dict[str, JobOutcome] = {o.key: o for o in outcomes}
         for outcome in outcomes:
             if outcome.ok:
@@ -188,4 +206,8 @@ class BatchRunner:
                     snapshot=outcome.snapshot, error=outcome.error))
         report.elapsed_s = time.perf_counter() - started
         report.cache_stats = self.cache.stats.to_json()
+        self._batches.inc()
+        for result in report.results:
+            self._jobs_by_origin.inc(origin=result.origin)
+        self._elapsed.observe(report.elapsed_s)
         return report

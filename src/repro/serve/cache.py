@@ -32,7 +32,7 @@ import pathlib
 import pickle
 import tempfile
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.serve.snapshot import ResultSnapshot
 
@@ -50,7 +50,14 @@ def default_cache_dir() -> pathlib.Path:
 
 @dataclass
 class CacheStats:
-    """Traffic counters for one :class:`ResultCache` instance."""
+    """Traffic counters for one :class:`ResultCache` instance.
+
+    Plain per-instance ints (so tests and reports stay hermetic) that
+    optionally mirror every increment into a shared
+    :class:`~repro.obs.MetricsRegistry` counter via :meth:`bind` — the
+    registry is the cross-component export path, this object the
+    compatible accessor surface.
+    """
 
     mem_hits: int = 0
     disk_hits: int = 0
@@ -58,6 +65,19 @@ class CacheStats:
     stores: int = 0
     evictions: int = 0
     corrupt_entries: int = 0
+    _counter: object = field(default=None, repr=False, compare=False)
+
+    def bind(self, registry) -> None:
+        """Mirror future increments into ``cache_events_total{event}``."""
+        self._counter = registry.counter(
+            "cache_events_total",
+            "result-cache traffic events by type", labels=("event",))
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Count one event, mirroring into the bound registry (if any)."""
+        setattr(self, name, getattr(self, name) + amount)
+        if self._counter is not None:
+            self._counter.inc(amount, event=name)
 
     @property
     def hits(self) -> int:
@@ -83,13 +103,15 @@ class ResultCache:
     """In-memory LRU over an optional on-disk content-addressed store."""
 
     def __init__(self, cache_dir: pathlib.Path | str | None = None,
-                 mem_entries: int = 256) -> None:
+                 mem_entries: int = 256, registry=None) -> None:
         if mem_entries < 1:
             raise ValueError("mem_entries must be >= 1")
         self.cache_dir = (pathlib.Path(cache_dir)
                           if cache_dir is not None else None)
         self.mem_entries = mem_entries
         self.stats = CacheStats()
+        if registry is not None:
+            self.stats.bind(registry)
         self._mem: OrderedDict[str, ResultSnapshot] = OrderedDict()
 
     @classmethod
@@ -116,15 +138,15 @@ class ResultCache:
         hit = self._mem.get(key)
         if hit is not None:
             self._mem.move_to_end(key)
-            self.stats.mem_hits += 1
+            self.stats.bump("mem_hits")
             return hit, "memory"
         if self.cache_dir is not None:
             snap = self._read_disk(key)
             if snap is not None:
-                self.stats.disk_hits += 1
+                self.stats.bump("disk_hits")
                 self._remember(key, snap)
                 return snap, "disk"
-        self.stats.misses += 1
+        self.stats.bump("misses")
         return None, "miss"
 
     def _read_disk(self, key: str) -> ResultSnapshot | None:
@@ -138,7 +160,7 @@ class ResultCache:
                 raise TypeError(f"cache entry is {type(snap).__name__}")
         except _READ_ERRORS:
             # Torn/garbage/foreign entry: drop it and recompute.
-            self.stats.corrupt_entries += 1
+            self.stats.bump("corrupt_entries")
             try:
                 path.unlink()
             except OSError:
@@ -153,14 +175,14 @@ class ResultCache:
         self._remember(key, snap)
         if self.cache_dir is not None:
             self._write_disk(key, snap)
-        self.stats.stores += 1
+        self.stats.bump("stores")
 
     def _remember(self, key: str, snap: ResultSnapshot) -> None:
         self._mem[key] = snap
         self._mem.move_to_end(key)
         while len(self._mem) > self.mem_entries:
             self._mem.popitem(last=False)
-            self.stats.evictions += 1
+            self.stats.bump("evictions")
 
     def _write_disk(self, key: str, snap: ResultSnapshot) -> None:
         path = self._path(key)

@@ -38,7 +38,9 @@ from repro.faults.spec import FaultSpec
 # Bump when the snapshot layout or simulator-visible semantics change in
 # a way that makes old cached results unusable.
 # 2: ResultSnapshot grew the optional ``races`` section (sanitizer).
-CACHE_SCHEMA_VERSION = 2
+# 3: ResultSnapshot grew the optional ``profile`` section and its stats
+#    JSON gained ``fairness``; jobs carry a ``profile`` flag.
+CACHE_SCHEMA_VERSION = 3
 
 
 def canonical_json(payload) -> str:
@@ -86,6 +88,7 @@ def job_key(program: Program, cfg: ProcessorConfig,
             fault: FaultSpec | None = None,
             max_cycles: int | None = None,
             sanitize: bool = False,
+            profile: bool = False,
             schema_version: int = CACHE_SCHEMA_VERSION) -> str:
     """Content hash identifying one simulation. Equal key == same result."""
     payload = {
@@ -96,6 +99,7 @@ def job_key(program: Program, cfg: ProcessorConfig,
         "fault": fault_fingerprint(fault),
         "max_cycles": max_cycles,
         "sanitize": bool(sanitize),
+        "profile": bool(profile),
     }
     digest = hashlib.sha256(canonical_json(payload).encode("utf-8"))
     return digest.hexdigest()

@@ -22,6 +22,8 @@ names; enum fields take their string values (e.g. ``"mt_mode": "fine"``).
 ``"sanitize": true`` attaches the vector-clock race sanitizer to the
 run; detected races ride back in the snapshot's ``races`` section (and
 in the cache key, so sanitized results are cached separately).
+``"profile": true`` attaches the cycle profiler the same way; the
+attribution rides back in the snapshot's ``profile`` section.
 Kernel jobs inherit the kernel's word width and local-memory image, same
 as ``repro faultsim`` does.
 """
@@ -90,6 +92,7 @@ class PreparedJob:
     max_cycles: int | None = None
     fault: FaultSpec | None = None
     sanitize: bool = False
+    profile: bool = False
 
 
 @dataclass
@@ -104,6 +107,7 @@ class Job:
     max_cycles: int | None = None
     fault: FaultSpec | None = None
     sanitize: bool = False
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if (self.source is None) == (self.kernel is None):
@@ -117,7 +121,7 @@ class Job:
         if not isinstance(obj, dict):
             raise JobError(f"job entry must be an object, got {type(obj).__name__}")
         known = {"name", "source", "file", "kernel", "config", "lmem",
-                 "max_cycles", "fault", "sanitize"}
+                 "max_cycles", "fault", "sanitize", "profile"}
         unknown = sorted(set(obj) - known)
         if unknown:
             raise JobError(f"unknown job field(s): {', '.join(unknown)}")
@@ -149,7 +153,8 @@ class Job:
         return cls(name=str(name), source=source, kernel=obj.get("kernel"),
                    config=config_from_json(obj.get("config")),
                    lmem=lmem, max_cycles=obj.get("max_cycles"), fault=fault,
-                   sanitize=bool(obj.get("sanitize", False)))
+                   sanitize=bool(obj.get("sanitize", False)),
+                   profile=bool(obj.get("profile", False)))
 
     def prepare(self) -> PreparedJob:
         """Assemble and hash this job into its canonical form."""
@@ -173,11 +178,12 @@ class Job:
             raise JobError(f"job {self.name!r}: assembly failed: {exc}") \
                 from exc
         key = job_key(program, cfg, lmem=lmem, fault=self.fault,
-                      max_cycles=self.max_cycles, sanitize=self.sanitize)
+                      max_cycles=self.max_cycles, sanitize=self.sanitize,
+                      profile=self.profile)
         return PreparedJob(name=self.name, key=key, program=program,
                            config=cfg, lmem=lmem,
                            max_cycles=self.max_cycles, fault=self.fault,
-                           sanitize=self.sanitize)
+                           sanitize=self.sanitize, profile=self.profile)
 
 
 def jobs_from_json(payload, base_dir=None) -> list[Job]:

@@ -76,7 +76,13 @@ def execute_prepared(item: PreparedJob) -> JobOutcome:
             from repro.core.sanitizer import RaceSanitizer
 
             sanitizer = RaceSanitizer()
-        proc = Processor(item.config, faults=plane, sanitizer=sanitizer)
+        profiler = None
+        if item.profile:
+            from repro.obs.profiler import CycleProfiler
+
+            profiler = CycleProfiler()
+        proc = Processor(item.config, faults=plane, sanitizer=sanitizer,
+                         profiler=profiler)
         proc.load(item.program)
         for col, values in sorted(item.lmem.items()):
             padded = np.zeros(item.config.num_pes, dtype=np.int64)
@@ -92,11 +98,23 @@ def execute_prepared(item: PreparedJob) -> JobOutcome:
     races = None
     if sanitizer is not None:
         races = [r.to_json() for r in sanitizer.reports]
+    profile = None
+    if profiler is not None:
+        profile = profiler.to_json()
     return JobOutcome(item.key, STATUS_OK,
-                      snapshot=ResultSnapshot.from_result(result, races=races))
+                      snapshot=ResultSnapshot.from_result(
+                          result, races=races, profile=profile))
 
 
-def map_ordered(fn, items: list, jobs: int = 1, retries: int = 1) -> list:
+def _pool_counter(registry):
+    return registry.counter(
+        "pool_tasks_total",
+        "tasks executed by the job pool, labelled by execution path",
+        labels=("path",))
+
+
+def map_ordered(fn, items: list, jobs: int = 1, retries: int = 1,
+                registry=None) -> list:
     """Apply picklable ``fn`` to every item, preserving input order.
 
     ``jobs <= 1`` is a plain serial loop.  With workers, pool breakage
@@ -104,17 +122,28 @@ def map_ordered(fn, items: list, jobs: int = 1, retries: int = 1) -> list:
     ``retries`` times; whatever is still missing after that is computed
     serially in-process.  ``fn`` itself must not raise for ordinary
     per-item failures — encode those in its return value.
+
+    ``registry`` (a :class:`~repro.obs.MetricsRegistry`) receives
+    ``pool_tasks_total{path=serial|pool|fallback}`` and
+    ``pool_broken_retries_total`` when given.
     """
     if jobs < 0:
         raise ValueError(f"jobs must be >= 0, got {jobs}")
     if jobs <= 1 or len(items) <= 1:
+        if registry is not None and items:
+            _pool_counter(registry).inc(len(items), path="serial")
         return [fn(item) for item in items]
 
     results: dict[int, object] = {}
     pending = list(range(len(items)))
-    for _ in range(max(retries, 0) + 1):
+    for attempt in range(max(retries, 0) + 1):
         if not pending:
             break
+        if attempt and registry is not None:
+            registry.counter(
+                "pool_broken_retries_total",
+                "fresh-executor retries after a broken process pool",
+            ).inc()
         try:
             with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) \
                     as pool:
@@ -128,12 +157,19 @@ def map_ordered(fn, items: list, jobs: int = 1, retries: int = 1) -> list:
                 pending = still_pending
         except BrokenProcessPool:
             continue
+    if registry is not None:
+        done = len(items) - len(pending)
+        if done:
+            _pool_counter(registry).inc(done, path="pool")
+        if pending:
+            _pool_counter(registry).inc(len(pending), path="fallback")
     for i in pending:   # last resort: serial, in-process
         results[i] = fn(items[i])
     return [results[i] for i in range(len(items))]
 
 
 def run_prepared(items: list[PreparedJob], jobs: int = 1,
-                 retries: int = 1) -> list[JobOutcome]:
+                 retries: int = 1, registry=None) -> list[JobOutcome]:
     """Execute prepared jobs (unique keys) and return ordered outcomes."""
-    return map_ordered(execute_prepared, items, jobs=jobs, retries=retries)
+    return map_ordered(execute_prepared, items, jobs=jobs, retries=retries,
+                       registry=registry)

@@ -10,8 +10,13 @@ Operations::
     {"op": "ping"}
     {"op": "run",   "id": 1, "job": {...}}            -> one result
     {"op": "batch", "id": 2, "jobs": [{...}, ...]}    -> ordered results
-    {"op": "stats", "id": 3}                          -> cache counters
+    {"op": "stats", "id": 3}                          -> cache counters +
+                                                         metrics snapshot
     {"op": "shutdown"}                                -> reply, then exit
+
+The ``stats`` reply's ``metrics`` section is the full
+:class:`~repro.obs.MetricsRegistry` snapshot for this process, covering
+the cache, pool, batch, and per-op request counters in one place.
 
 Scale behaviour:
 
@@ -45,10 +50,18 @@ class ServeSession:
 
     def __init__(self, runner: BatchRunner | None = None,
                  max_pending: int = DEFAULT_MAX_PENDING,
-                 full_results: bool = False) -> None:
-        self.runner = runner or BatchRunner(ResultCache())
+                 full_results: bool = False, registry=None) -> None:
+        self.runner = runner or BatchRunner(ResultCache(),
+                                            registry=registry)
         self.max_pending = max_pending
         self.full_results = full_results
+        # One registry for the whole session: the runner's unless the
+        # caller wired an explicit (e.g. process-wide) one through.
+        self.registry = (registry if registry is not None
+                         else self.runner.registry)
+        self._requests = self.registry.counter(
+            "serve_requests_total", "service requests received, by op",
+            labels=("op",))
         self.requests = 0
         self.shutdown = False
 
@@ -73,11 +86,14 @@ class ServeSession:
 
     def _dispatch(self, request: dict) -> dict:
         op = request.get("op")
+        known = op in ("ping", "stats", "shutdown", "run", "batch")
+        self._requests.inc(op=op if known else "unknown")
         if op == "ping":
             return {"ok": True, "pong": True}
         if op == "stats":
             return {"ok": True, "requests": self.requests,
-                    "cache": self.runner.cache.stats.to_json()}
+                    "cache": self.runner.cache.stats.to_json(),
+                    "metrics": self.registry.snapshot()}
         if op == "shutdown":
             self.shutdown = True
             return {"ok": True, "shutdown": True}
@@ -115,12 +131,12 @@ class ServeSession:
 def serve_forever(stdin=None, stdout=None,
                   runner: BatchRunner | None = None,
                   max_pending: int = DEFAULT_MAX_PENDING,
-                  full_results: bool = False) -> int:
+                  full_results: bool = False, registry=None) -> int:
     """Pump the JSON-lines protocol until EOF or a shutdown request."""
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
     session = ServeSession(runner=runner, max_pending=max_pending,
-                           full_results=full_results)
+                           full_results=full_results, registry=registry)
     for line in stdin:
         reply = session.handle_line(line)
         if reply is None:

@@ -45,11 +45,14 @@ class ResultSnapshot:
     # Sanitizer race reports as JSON-safe dicts; None when the run was
     # not sanitized (distinct from [], a sanitized-and-clean run).
     races: list | None = None
-    schema: int = 2
+    # Cycle-attribution profile (CycleProfiler.to_json()); None when the
+    # run was not profiled.  Same None-vs-present convention as races.
+    profile: dict | None = None
+    schema: int = 3
 
     @classmethod
     def from_result(cls, result, races: list | None = None,
-                    ) -> "ResultSnapshot":
+                    profile: dict | None = None) -> "ResultSnapshot":
         """Capture a finished ``RunResult`` (or compatible object)."""
         proc = result.processor
         return cls(
@@ -59,6 +62,7 @@ class ResultSnapshot:
             pe_flags=proc.pe.flags.astype(np.int64).tolist(),
             mem_words=[int(w) for w in proc.mem.dump(0, proc.mem.words)],
             races=races,
+            profile=profile,
         )
 
     # -- RunResult-compatible accessors -------------------------------------
@@ -102,6 +106,8 @@ class ResultSnapshot:
         }
         if self.races is not None:
             out["races"] = self.races
+        if self.profile is not None:
+            out["profile"] = self.profile
         return out
 
 
@@ -117,6 +123,7 @@ def stats_to_json(stats: Stats) -> dict:
         "idle_slots": stats.idle_slots,
         "ipc": round(stats.ipc, 6),
         "utilization": round(stats.utilization, 6),
+        "fairness": round(stats.fairness(), 6),
         "wait_cycles": {cause: stats.wait_cycles[cause]
                         for cause in ALL_STALL_CAUSES
                         if stats.wait_cycles.get(cause)},

@@ -9,7 +9,7 @@ PACKAGES = [
     "repro", "repro.isa", "repro.asm", "repro.pe", "repro.network",
     "repro.core", "repro.assoc", "repro.asclang", "repro.opt",
     "repro.baselines", "repro.fpga", "repro.programs", "repro.bench",
-    "repro.util", "repro.faults", "repro.serve",
+    "repro.util", "repro.faults", "repro.serve", "repro.obs",
 ]
 
 

@@ -1,5 +1,7 @@
 """CLI tests (python -m repro ...)."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -101,6 +103,67 @@ class TestRun:
     def test_run_with_fetch_model(self, demo_file, capsys):
         assert main(["run", demo_file, "--pes", "8", "--threads", "1",
                      "--width", "16", "--model-fetch"]) == 0
+
+    def test_run_json_carries_full_stats(self, demo_file, capsys):
+        assert main(["run", demo_file, "--pes", "8", "--threads", "1",
+                     "--width", "16", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        stats = payload["stats"]
+        for key in ("cycles", "instructions", "ipc", "utilization",
+                    "fairness", "wait_cycles", "idle_slots"):
+            assert key in stats, key
+        assert "profile" not in payload
+
+    def test_run_text_reports_fairness(self, demo_file, capsys):
+        assert main(["run", demo_file, "--pes", "8", "--threads", "1",
+                     "--width", "16"]) == 0
+        assert "fairness (Jain)" in capsys.readouterr().out
+
+
+class TestProfile:
+    def test_run_profile_text(self, demo_file, capsys):
+        assert main(["run", demo_file, "--pes", "8", "--threads", "1",
+                     "--width", "16", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "cycle attribution" in out
+        assert "issue by opcode" in out
+        assert "hazard timeline" in out
+
+    def test_run_profile_json(self, demo_file, capsys):
+        assert main(["run", demo_file, "--pes", "8", "--threads", "1",
+                     "--width", "16", "--profile", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        profile = payload["profile"]
+        assert sum(profile["buckets"].values()) == \
+            profile["threads"] * profile["cycles"]
+        assert profile["cycles"] == payload["stats"]["cycles"]
+
+    def test_profile_command_text(self, demo_file, capsys):
+        assert main(["profile", demo_file, "--pes", "8", "--threads",
+                     "1", "--width", "16",
+                     "--lmem", "0=1,2,3,4,5,6,7,8"]) == 0
+        out = capsys.readouterr().out
+        assert "cycle attribution" in out
+        assert "IPC" in out
+
+    def test_profile_command_json(self, demo_file, capsys):
+        assert main(["profile", demo_file, "--pes", "8", "--threads",
+                     "1", "--width", "16", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["file"] == demo_file
+        assert payload["profile"]["schema"] == 1
+
+    def test_profile_command_trace_out(self, demo_file, tmp_path,
+                                       capsys):
+        out_path = tmp_path / "trace.json"
+        assert main(["profile", demo_file, "--pes", "4", "--threads",
+                     "1", "--width", "16",
+                     "--trace-out", str(out_path)]) == 0
+        trace = json.loads(out_path.read_text())
+        assert trace["otherData"]["cycles"] > 0
+        phases = {e["ph"] for e in trace["traceEvents"]}
+        assert {"M", "B", "E", "X"} <= phases
+        assert str(out_path) in capsys.readouterr().out
 
 
 class TestInfo:

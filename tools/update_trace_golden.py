@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Regenerate tests/data/chrome_trace_golden.json.
+
+The golden file freezes the exact bytes of the Chrome-trace exporter for
+a fixed two-thread program (see tests/test_obs.py).  Run this after an
+*intentional* change to the exporter or the timing model, and re-check
+the diff by loading the file in chrome://tracing or ui.perfetto.dev:
+
+    PYTHONPATH=src python tools/update_trace_golden.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                       / "src"))
+
+from repro.core.processor import run_program            # noqa: E402
+from repro.obs import CycleProfiler, render_trace       # noqa: E402
+
+
+def main() -> None:
+    tests = pathlib.Path(__file__).resolve().parent.parent / "tests"
+    sys.path.insert(0, str(tests))
+    from test_obs import GOLDEN_CFG, GOLDEN_SOURCE, GOLDEN_TRACE
+
+    profiler = CycleProfiler()
+    result = run_program(GOLDEN_SOURCE, GOLDEN_CFG, trace=True,
+                         profiler=profiler)
+    GOLDEN_TRACE.parent.mkdir(exist_ok=True)
+    GOLDEN_TRACE.write_text(render_trace(profiler, result.trace,
+                                         GOLDEN_CFG))
+    print(f"wrote {GOLDEN_TRACE} (cycles={result.stats.cycles})")
+
+
+if __name__ == "__main__":
+    main()
