@@ -5,8 +5,12 @@ happens-before) made ``repro lint`` do whole-program work per check, so
 this benchmark watches two costs —
 
 * **lint throughput** instructions/sec for a full lint (all checks,
-  hazard scan, stall estimate) and for the concurrency checks alone,
-  over the entire kernel library;
+  hazard scan, stall estimate), for the concurrency checks alone, and
+  for the abstract-interpretation checks alone, over the entire kernel
+  library;
+* **verify throughput** instructions/sec for the translation-validation
+  pass (``schedule_program_verified``: list-schedule + symbolic
+  block-equivalence proof) over the same targets;
 * **sanitizer overhead** wall-clock for a thread-heavy kernel with the
   vector-clock sanitizer attached vs. detached.
 
@@ -31,6 +35,8 @@ from repro.serve.pool import execute_prepared
 
 CONCURRENCY_CHECKS = ["cross-thread-race", "lost-delivery",
                       "thread-lifecycle"]
+ABSINT_CHECKS = ["lmem-out-of-bounds", "width-overflow", "dead-search",
+                 "static-cycle-bound"]
 LINT_REPEATS = 5
 RUN_REPEATS = 3
 
@@ -58,6 +64,17 @@ def test_lint_throughput(once):
 
     full_s = once(timed, lint_all, LINT_REPEATS)
     conc_s = timed(lambda: lint_all(CONCURRENCY_CHECKS), LINT_REPEATS)
+    absint_s = timed(lambda: lint_all(ABSINT_CHECKS), LINT_REPEATS)
+
+    # Translation validation: schedule + symbolic equivalence proof.
+    from repro.opt.scheduler import schedule_program_verified
+
+    def verify_all():
+        for _, program, kcfg in targets:
+            _, report = schedule_program_verified(program, kcfg)
+            assert report.equivalent
+
+    equiv_s = timed(verify_all, LINT_REPEATS)
 
     # Sanitizer cost on the most thread-heavy library kernel.
     job = {"name": "storm", "kernel": "reduction_storm",
@@ -87,6 +104,10 @@ def test_lint_throughput(once):
               f"{total_instructions / max(full_s, 1e-9):,.0f} instr/s")
     t.add_row("concurrency checks only", round(conc_s, 4),
               f"{total_instructions / max(conc_s, 1e-9):,.0f} instr/s")
+    t.add_row("absint checks only", round(absint_s, 4),
+              f"{total_instructions / max(absint_s, 1e-9):,.0f} instr/s")
+    t.add_row("translation validation", round(equiv_s, 4),
+              f"{total_instructions / max(equiv_s, 1e-9):,.0f} instr/s")
     t.add_row("reduction_storm plain", round(plain_s, 4),
               f"{cycles / max(plain_s, 1e-9):,.0f} cyc/s")
     t.add_row("reduction_storm sanitized", round(san_s, 4),
@@ -95,7 +116,10 @@ def test_lint_throughput(once):
         f"lint sweeps the kernel library at "
         f"{total_instructions / max(full_s, 1e-9):,.0f} instructions/sec "
         f"({conc_s / max(full_s, 1e-9):.0%} of it in the concurrency "
-        f"checks); attaching the sanitizer costs "
+        f"checks, {absint_s / max(full_s, 1e-9):.0%} in the absint "
+        f"checks); translation validation proves every kernel schedule "
+        f"at {total_instructions / max(equiv_s, 1e-9):,.0f} "
+        f"instructions/sec; attaching the sanitizer costs "
         f"{san_s / max(plain_s, 1e-9):.2f}x on reduction_storm and "
         f"detaching it restores the exact baseline computation")
     exp.report()

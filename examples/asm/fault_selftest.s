@@ -26,8 +26,8 @@ main:
 
     fand   f3, f1, f2       # f3: PE matched both patterns
     fnot   f4, f3           # f4: failing PEs (the defect responders)
-    rcount s3, f4           # how many PEs failed?
-    rany   s4, f4           # any failures at all?
+    rcount s3, f4           # how many PEs failed? lint: allow(dead-search)
+    rany   s4, f4           # any failures at all? lint: allow(dead-search)
 
     fset   f5               # all-PEs responder set: the machine's
     rcount s5, f5           # count must equal the live-PE total, or

@@ -18,8 +18,23 @@ reproduces that argument symbolically, from the program text alone:
 * :mod:`repro.analysis.concurrency` — spawn graph, thread regions, and
   happens-before facts over ``tspawn``/``tjoin``/``tput``/``tget``,
   powering the cross-thread race / delivery / lifecycle lint checks;
+* :mod:`repro.analysis.absint` — abstract interpretation over value
+  intervals, responder-set (flag) tri-states, and local-memory address
+  ranges, plus a sound static worst-case cycle bound;
+* :mod:`repro.analysis.equiv` — symbolic-execution translation
+  validation proving scheduler/compiler output equivalent to its input
+  block by block (``repro verify``);
 * :mod:`repro.analysis.lint` — the ``repro lint`` pass manager.
 """
+
+from repro.analysis.absint import (
+    AbsintResult,
+    AbsState,
+    Interval,
+    analyze_intervals,
+    flag_allows,
+    static_cycle_bound,
+)
 
 from repro.analysis.cfg import CFG, build_cfg
 from repro.analysis.concurrency import (
@@ -33,6 +48,12 @@ from repro.analysis.dataflow import (
     analyze_dataflow,
 )
 from repro.analysis.deps import BlockDeps, DepEdge, build_block_deps
+from repro.analysis.equiv import (
+    VERIFY_JSON_SCHEMA,
+    EquivReport,
+    Mismatch,
+    validate_programs,
+)
 from repro.analysis.hazards import (
     HazardEdge,
     StallEstimate,
@@ -50,6 +71,16 @@ from repro.analysis.lint import (
 )
 
 __all__ = [
+    "AbsintResult",
+    "AbsState",
+    "Interval",
+    "analyze_intervals",
+    "flag_allows",
+    "static_cycle_bound",
+    "VERIFY_JSON_SCHEMA",
+    "EquivReport",
+    "Mismatch",
+    "validate_programs",
     "CFG",
     "build_cfg",
     "ConcurrencyAnalysis",

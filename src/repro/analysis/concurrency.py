@@ -46,11 +46,15 @@ generated program is flagged statically).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
 from repro.analysis.cfg import CFG
 from repro.analysis.dataflow import INIT_DEF, DataflowResult
 from repro.asm.program import Program
 from repro.isa import registers
+
+if TYPE_CHECKING:
+    from repro.analysis.lint import AnalysisContext, Diagnostic
 
 
 def const_value(program: Program, df: DataflowResult, pc: int,
@@ -372,7 +376,7 @@ class ConcurrencyAnalysis:
 # ---------------------------------------------------------------------------
 
 
-def check_cross_thread_race(ctx) -> list:
+def check_cross_thread_race(ctx: AnalysisContext) -> list[Diagnostic]:
     """Conflicting scalar-memory accesses from unordered thread regions.
 
     Supersedes the PR-1 ``scalar-mem-race`` check: the ordering test is
@@ -383,13 +387,14 @@ def check_cross_thread_race(ctx) -> list:
     itself.  Addresses resolve only through compile-time-constant
     bases; unknown addresses are never reported.
     """
-    out = []
+    out: list[Diagnostic] = []
     conc = ctx.concurrency()
     program = ctx.program
     accesses = [(r, conc.mem_accesses(r)) for r in conc.regions]
-    reported: set[tuple] = set()
+    reported: set[tuple[int, int, int]] = set()
 
-    def report(ra, a, rb, b):
+    def report(ra: ThreadRegion, a: MemAccess,
+               rb: ThreadRegion, b: MemAccess) -> None:
         key = (min(a.pc, b.pc), max(a.pc, b.pc), a.addr)
         if key in reported:
             return
@@ -425,9 +430,14 @@ def check_cross_thread_race(ctx) -> list:
     return out
 
 
-def _tput_sites(ctx):
+_DeliverySite = tuple[int, int, frozenset[int]]
+
+
+def _tput_sites(ctx: AnalysisContext,
+                ) -> tuple[list[_DeliverySite], list[_DeliverySite]]:
     """(pc, reg index, handle defs) for every tput/tget in the program."""
-    puts, gets = [], []
+    puts: list[_DeliverySite] = []
+    gets: list[_DeliverySite] = []
     for pc, instr in enumerate(ctx.program.instructions):
         if instr.mnemonic == "tput":
             defs = ctx.dataflow.reaching_defs(pc, ("s", instr.rd))
@@ -438,7 +448,7 @@ def _tput_sites(ctx):
     return puts, gets
 
 
-def check_lost_delivery(ctx) -> list:
+def check_lost_delivery(ctx: AnalysisContext) -> list[Diagnostic]:
     """Register-delivery conflicts on the ``tput``/``tget`` channel.
 
     A ``tput`` writes directly into the target context's register file;
@@ -448,14 +458,15 @@ def check_lost_delivery(ctx) -> list:
     ever reads it; or a ``tget`` reads a register the source thread was
     never provably sent (the value read depends on scheduling).
     """
-    out = []
+    out: list[Diagnostic] = []
     conc = ctx.concurrency()
     program = ctx.program
     df = ctx.dataflow
     puts, gets = _tput_sites(ctx)
-    reported: set[tuple] = set()
+    reported: set[tuple[object, ...]] = set()
 
-    def emit(tag, pc, severity, message, data):
+    def emit(tag: str, pc: int, severity: str, message: str,
+             data: dict[str, Any]) -> None:
         key = (tag, pc, data.get("reg"), tuple(data.get("pcs", ())))
         if key in reported:
             return
@@ -463,7 +474,8 @@ def check_lost_delivery(ctx) -> list:
         out.append(ctx.diag("lost-delivery", severity, pc, message,
                             data=data))
 
-    def respawn_between(region, defs, p1, p2):
+    def respawn_between(region: ThreadRegion, defs: frozenset[int],
+                        p1: int, p2: int) -> bool:
         for d in defs:
             if d == INIT_DEF or d not in region.pcs:
                 continue
@@ -474,7 +486,8 @@ def check_lost_delivery(ctx) -> list:
                 return True      # a fresh thread is spawned in between
         return False
 
-    def consumed_between(region, defs, idx, p1, p2):
+    def consumed_between(region: ThreadRegion, defs: frozenset[int],
+                         idx: int, p1: int, p2: int) -> bool:
         for g, gidx, gdefs in gets:
             if gidx != idx or g not in region.pcs:
                 continue
@@ -485,7 +498,8 @@ def check_lost_delivery(ctx) -> list:
                 return True
         return False
 
-    def shared_target(defs1, defs2):
+    def shared_target(defs1: frozenset[int],
+                      defs2: frozenset[int]) -> bool:
         """Can the two handle-definition sets name one thread?  A shared
         ``tspawn`` definition does; so do two all-zero handles (both
         name hardware context 0)."""
@@ -589,7 +603,7 @@ def check_lost_delivery(ctx) -> list:
     return out
 
 
-def check_thread_lifecycle(ctx) -> list:
+def check_thread_lifecycle(ctx: AnalysisContext) -> list[Diagnostic]:
     """Handle-lifecycle bugs: joins on non-handles, join deadlocks,
     orphan threads.
 
@@ -602,7 +616,7 @@ def check_thread_lifecycle(ctx) -> list:
     legitimate pattern (the kernel library uses it), but the thread's
     results are then only visible through memory.
     """
-    out = []
+    out: list[Diagnostic] = []
     conc = ctx.concurrency()
     program = ctx.program
     df = ctx.dataflow

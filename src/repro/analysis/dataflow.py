@@ -27,6 +27,8 @@ from dataclasses import dataclass, field
 from repro.analysis.cfg import CFG
 from repro.asm.program import Program
 from repro.isa import registers
+from repro.isa.instruction import Instruction
+from repro.opt.blocks import BasicBlock
 
 # Synthetic definition site: the zero-initialized thread context.
 INIT_DEF = -1
@@ -69,7 +71,7 @@ class DataflowResult:
         return INIT_DEF in self.reaching_defs(pc, reg)
 
 
-def is_killing_write(instr) -> bool:
+def is_killing_write(instr: Instruction) -> bool:
     """Whether the instruction's destination write is a full (killing)
     definition.  Masked parallel/flag writes are partial: PEs outside
     the mask keep their old value."""
@@ -83,7 +85,7 @@ def is_killing_write(instr) -> bool:
     return True
 
 
-def _block_transfer(program: Program, block) -> tuple[
+def _block_transfer(program: Program, block: BasicBlock) -> tuple[
         dict[Reg, frozenset[int]], set[Reg]]:
     """(gen, kill) summary of one basic block for reaching defs.
 

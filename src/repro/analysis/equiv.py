@@ -1,0 +1,453 @@
+"""Translation validation: symbolic block equivalence proofs.
+
+Proves that a transformed program (the :mod:`repro.opt.scheduler`
+output, or the :mod:`repro.asclang` optimizing pipeline) is semantically
+equivalent to its input, block by block.  Both versions of each basic
+block are executed *symbolically* from the same fresh symbolic state;
+the final symbolic expression of every scalar/parallel/flag register,
+both memory spaces (as store chains), the control transfer, and the
+cross-thread event sequence must match structurally.
+
+Why structural equality suffices
+--------------------------------
+The list scheduler permutes instructions within a block while
+preserving every RAW/WAR/WAW register dependence and per-address-space
+memory order, with control transfers and thread barriers pinned to the
+block's final slot.  Under those constraints each instruction reads
+exactly the expressions it read in the original order and each
+location's *final* writer is unchanged, so a legal schedule reproduces
+the original symbolic state node for node — structural comparison is
+complete as well as sound for this transform.  An illegal reorder (the
+deliberately-broken scheduler mutation in the test suite) perturbs some
+operand or store-chain expression and is refuted with the pc of the
+diverging writer on both sides.
+
+Expressions are hash-consed into a per-block interner shared by both
+sides, so equal subtrees are the *same* tuple object and comparisons
+short-circuit on identity — validation stays linear in block size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asm.program import Program
+from repro.core.execute import _BRANCHES, _PARALLEL_CMP, _PARALLEL_INT, _SCALAR_INT
+from repro.isa import registers
+from repro.isa.instruction import Instruction
+from repro.network.reduction import REDUCTION_FNS
+from repro.opt.blocks import basic_blocks
+from repro.util.bitops import mask_for_width, to_unsigned
+
+# Version of the ``repro verify --json`` report layout.
+VERIFY_JSON_SCHEMA = 1
+
+# Expression nodes are interned tuples: ("c", v) constants, ("init", ...)
+# entry-state leaves, ("ones",)/("zeros",) constant flag vectors, and
+# operator nodes whose children are already-interned nodes.
+Expr = tuple[object, ...]
+
+
+class _Interner:
+    """Hash-consing pool: equal trees become the same tuple object."""
+
+    __slots__ = ("pool",)
+
+    def __init__(self) -> None:
+        self.pool: dict[Expr, Expr] = {}
+
+    def node(self, *parts: object) -> Expr:
+        key: Expr = tuple(parts)
+        return self.pool.setdefault(key, key)
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One refuted location: a pc-level counterexample.
+
+    ``original_pc``/``transformed_pc`` are the absolute addresses of
+    the instruction whose write produced each side's diverging value
+    (None when the divergence is structural or from the entry state).
+    """
+
+    block_start: int
+    block_end: int
+    location: str
+    original: str
+    transformed: str
+    original_pc: int | None = None
+    transformed_pc: int | None = None
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "block": [self.block_start, self.block_end],
+            "location": self.location,
+            "original": self.original,
+            "transformed": self.transformed,
+            "original_pc": self.original_pc,
+            "transformed_pc": self.transformed_pc,
+        }
+
+    def format(self) -> str:
+        where = (f" (writers: original pc={self.original_pc}, "
+                 f"transformed pc={self.transformed_pc})"
+                 if self.original_pc is not None
+                 or self.transformed_pc is not None else "")
+        return (f"block pc {self.block_start}..{self.block_end - 1}: "
+                f"{self.location} diverges{where}\n"
+                f"    original:    {self.original}\n"
+                f"    transformed: {self.transformed}")
+
+
+@dataclass
+class EquivReport:
+    """Outcome of one translation-validation run."""
+
+    equivalent: bool
+    blocks_checked: int
+    mismatches: list[Mismatch] = field(default_factory=list)
+    transform: str = "opt.scheduler"
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "transform": self.transform,
+            "equivalent": self.equivalent,
+            "blocks_checked": self.blocks_checked,
+            "mismatches": [m.to_json() for m in self.mismatches],
+        }
+
+    def format(self) -> str:
+        if self.equivalent:
+            return (f"proved equivalent: {self.blocks_checked} block(s) "
+                    f"under {self.transform}")
+        body = "\n".join(m.format() for m in self.mismatches)
+        return (f"REFUTED: {self.transform} output is not equivalent "
+                f"({len(self.mismatches)} mismatch(es) over "
+                f"{self.blocks_checked} block(s))\n{body}")
+
+
+def render(expr: object, depth: int = 10) -> str:
+    """Human-readable form of a symbolic expression (depth-capped)."""
+    if not isinstance(expr, tuple):
+        return str(expr)
+    kind = expr[0]
+    if kind == "c":
+        return str(expr[1])
+    if kind == "init":
+        return "@".join(str(p) for p in expr[1:]) + "@entry" \
+            if len(expr) == 2 else f"{expr[1]}{expr[2]}@entry"
+    if kind == "ones":
+        return "all-ones"
+    if kind == "zeros":
+        return "all-zeros"
+    if depth <= 0:
+        return "..."
+    args = ", ".join(render(p, depth - 1) for p in expr[1:])
+    return f"{kind}({args})"
+
+
+class _SymState:
+    """Symbolic machine state for one side of one basic block."""
+
+    def __init__(self, interner: _Interner, width: int) -> None:
+        self.n = interner
+        self.width = width
+        self.word_mask = mask_for_width(width)
+        node = interner.node
+        self.s: list[Expr] = [node("init", "s", i)
+                              for i in range(registers.NUM_SCALAR_REGS)]
+        self.p: list[Expr] = [node("init", "p", i)
+                              for i in range(registers.NUM_PARALLEL_REGS)]
+        self.f: list[Expr] = [node("init", "f", i)
+                              for i in range(registers.NUM_FLAG_REGS)]
+        self.s[registers.ZERO_REG] = node("c", 0)
+        self.p[registers.ZERO_REG] = node("c", 0)
+        self.f[registers.ALWAYS_FLAG] = node("ones")
+        self.lmem: Expr = node("init", "lmem")
+        self.smem: Expr = node("init", "smem")
+        # location label -> pc of the last write (absolute address).
+        self.writer: dict[str, int] = {}
+        # Cross-thread side effects in program order: (expr, pc).
+        self.events: list[tuple[Expr, int]] = []
+        self.terminator: Expr | None = None
+        self.terminator_pc: int | None = None
+
+    # -- write ports (hardwired cells stay pinned) ---------------------------
+
+    def write_s(self, idx: int, value: Expr, pc: int) -> None:
+        if idx == registers.ZERO_REG:
+            return
+        self.s[idx] = value
+        self.writer[f"s{idx}"] = pc
+
+    def write_p(self, idx: int, value: Expr, mask: Expr, pc: int) -> None:
+        if idx == registers.ZERO_REG:
+            return
+        self.p[idx] = self.merge(mask, value, self.p[idx])
+        self.writer[f"p{idx}"] = pc
+
+    def write_f(self, idx: int, value: Expr, mask: Expr, pc: int) -> None:
+        if idx == registers.ALWAYS_FLAG:
+            return
+        self.f[idx] = self.merge(mask, value, self.f[idx])
+        self.writer[f"f{idx}"] = pc
+
+    def merge(self, mask: Expr, new: Expr, old: Expr) -> Expr:
+        """Masked-write combinator: outside-mask PEs keep ``old``."""
+        if mask == ("ones",) or new is old:
+            return new if mask == ("ones",) else old
+        if mask == ("zeros",):
+            return old
+        return self.n.node("merge", mask, new, old)
+
+    # -- per-instruction symbolic step ---------------------------------------
+
+    def step(self, instr: Instruction, pc: int) -> None:
+        node = self.n.node
+        m = instr.mnemonic
+
+        # -- scalar ----------------------------------------------------------
+        if m in _SCALAR_INT:
+            base, bsrc = _SCALAR_INT[m]
+            b = (self.s[instr.rt] if bsrc == "rt"
+                 else node("c", instr.imm))
+            self.write_s(instr.rd,
+                         node("alu", base, self.s[instr.rs], b), pc)
+            return
+        if m == "lui":
+            self.write_s(instr.rd,
+                         node("c", (instr.imm << 16) & self.word_mask), pc)
+            return
+        if m == "lw":
+            addr = node("addr", self.s[instr.rs], instr.imm)
+            self.write_s(instr.rd, node("sload", self.smem, addr), pc)
+            return
+        if m == "sw":
+            addr = node("addr", self.s[instr.rs], instr.imm)
+            self.smem = node("sstore", self.smem, addr, self.s[instr.rd])
+            self.writer["smem"] = pc
+            return
+        if m in _BRANCHES:
+            self.terminator = node("branch", m, self.s[instr.rd],
+                                   self.s[instr.rs], instr.imm)
+            self.terminator_pc = pc
+            return
+        if m == "j":
+            self.terminator = node("jump", "j", instr.target)
+            self.terminator_pc = pc
+            return
+        if m == "jal":
+            # The link value is the concrete return address: control
+            # stays in the block's final slot, so pc matches by
+            # construction on both sides.
+            self.write_s(registers.LINK_REG, node("c", pc + 1), pc)
+            self.terminator = node("jump", "jal", instr.target)
+            self.terminator_pc = pc
+            return
+        if m == "jr":
+            self.terminator = node("jump", "jr", self.s[instr.rs])
+            self.terminator_pc = pc
+            return
+        if m == "halt":
+            self.terminator = node("halt")
+            self.terminator_pc = pc
+            return
+        if m == "tspawn":
+            self.events.append((node("tspawn", instr.imm), pc))
+            self.write_s(instr.rd, node("tspawn-tid", instr.imm), pc)
+            return
+        if m == "texit":
+            self.events.append((node("texit"), pc))
+            return
+        if m == "tput":
+            self.events.append(
+                (node("tput", self.s[instr.rd], self.s[instr.rs],
+                      instr.imm), pc))
+            return
+        if m == "tget":
+            value = node("tget", self.s[instr.rs], instr.imm)
+            self.events.append((value, pc))
+            self.write_s(instr.rd, value, pc)
+            return
+        if m == "tjoin":
+            self.events.append((node("tjoin", self.s[instr.rs]), pc))
+            return
+
+        # -- parallel ----------------------------------------------------------
+        mask = self.f[instr.mf]
+        if m in _PARALLEL_INT or m in _PARALLEL_CMP:
+            table = _PARALLEL_INT if m in _PARALLEL_INT else _PARALLEL_CMP
+            base, bsrc = table[m]
+            if bsrc == "pt":
+                b = self.p[instr.rt]
+            elif bsrc == "st":
+                b = node("bcast", self.s[instr.rt])
+            else:
+                b = node("c", to_unsigned(instr.imm, self.width))
+            if m in _PARALLEL_INT:
+                self.write_p(instr.rd,
+                             node("palu", base, self.p[instr.rs], b),
+                             mask, pc)
+            else:
+                self.write_f(instr.rd,
+                             node("pcmp", base, self.p[instr.rs], b),
+                             mask, pc)
+            return
+        if m == "pbcast":
+            self.write_p(instr.rd, node("bcast", self.s[instr.rs]),
+                         mask, pc)
+            return
+        if m == "psel":
+            # mf carries the selector, not an execution mask: unmasked.
+            value = node("psel", self.f[instr.mf], self.p[instr.rs],
+                         self.p[instr.rt])
+            self.write_p(instr.rd, value, ("ones",), pc)
+            return
+        if m == "plw":
+            addr = node("paddr", self.p[instr.rs], instr.imm)
+            self.write_p(instr.rd, node("pload", self.lmem, addr),
+                         mask, pc)
+            return
+        if m == "psw":
+            addr = node("paddr", self.p[instr.rs], instr.imm)
+            self.lmem = node("pstore", self.lmem, addr,
+                             self.p[instr.rd], mask)
+            self.writer["lmem"] = pc
+            return
+        if m in ("fand", "for", "fxor", "fandn"):
+            value = node("flag", m, self.f[instr.rs], self.f[instr.rt])
+            self.write_f(instr.rd, value, mask, pc)
+            return
+        if m == "fnot":
+            self.write_f(instr.rd, node("fnot", self.f[instr.rs]),
+                         mask, pc)
+            return
+        if m == "fmov":
+            self.write_f(instr.rd, self.f[instr.rs], mask, pc)
+            return
+        if m in ("fset", "fclr"):
+            value = self.n.node("ones" if m == "fset" else "zeros")
+            self.write_f(instr.rd, value, mask, pc)
+            return
+
+        # -- reduction ----------------------------------------------------------
+        if m in REDUCTION_FNS:
+            self.write_s(instr.rd,
+                         node("red", m, self.p[instr.rs], mask), pc)
+            return
+        if m in ("rcount", "rany"):
+            self.write_s(instr.rd,
+                         node("red", m, self.f[instr.rs], mask), pc)
+            return
+        if m == "rfirst":
+            self.write_f(instr.rd,
+                         node("rfirst", self.f[instr.rs], mask), mask, pc)
+            return
+        raise AssertionError(
+            f"symbolic transfer missing for mnemonic {m!r}")  # pragma: no cover
+
+
+def _structure_mismatch(original: str, transformed: str) -> Mismatch:
+    return Mismatch(block_start=0, block_end=0, location="structure",
+                    original=original, transformed=transformed)
+
+
+def _compare_block(orig: _SymState, trans: _SymState, start: int,
+                   end: int) -> list[Mismatch]:
+    out: list[Mismatch] = []
+
+    def diverge(location: str, a: Expr | None, b: Expr | None) -> None:
+        out.append(Mismatch(
+            block_start=start, block_end=end, location=location,
+            original=render(a), transformed=render(b),
+            original_pc=orig.writer.get(location, orig.terminator_pc
+                                        if location == "control" else None),
+            transformed_pc=trans.writer.get(
+                location, trans.terminator_pc
+                if location == "control" else None)))
+
+    for i in range(1, registers.NUM_SCALAR_REGS):
+        if orig.s[i] != trans.s[i]:
+            diverge(f"s{i}", orig.s[i], trans.s[i])
+    for i in range(1, registers.NUM_PARALLEL_REGS):
+        if orig.p[i] != trans.p[i]:
+            diverge(f"p{i}", orig.p[i], trans.p[i])
+    for i in range(1, registers.NUM_FLAG_REGS):
+        if orig.f[i] != trans.f[i]:
+            diverge(f"f{i}", orig.f[i], trans.f[i])
+    if orig.lmem != trans.lmem:
+        diverge("lmem", orig.lmem, trans.lmem)
+    if orig.smem != trans.smem:
+        diverge("smem", orig.smem, trans.smem)
+    if orig.terminator != trans.terminator:
+        diverge("control", orig.terminator, trans.terminator)
+    if orig.events != trans.events:
+        o_exprs = [e for e, _ in orig.events]
+        t_exprs = [e for e, _ in trans.events]
+        if o_exprs != t_exprs:
+            first = next((k for k, (a, b) in enumerate(
+                zip(o_exprs, t_exprs)) if a != b),
+                min(len(o_exprs), len(t_exprs)))
+            opc = (orig.events[first][1] if first < len(orig.events)
+                   else None)
+            tpc = (trans.events[first][1] if first < len(trans.events)
+                   else None)
+            out.append(Mismatch(
+                block_start=start, block_end=end, location="events",
+                original="; ".join(render(e) for e in o_exprs) or "(none)",
+                transformed="; ".join(render(e) for e in t_exprs)
+                or "(none)",
+                original_pc=opc, transformed_pc=tpc))
+    return out
+
+
+def validate_programs(original: Program, transformed: Program,
+                      word_width: int,
+                      transform: str = "opt.scheduler") -> EquivReport:
+    """Prove (or refute) block-by-block semantic equivalence.
+
+    Both programs must share the block partition (the scheduler never
+    moves block boundaries); a partition or length difference is
+    reported as a ``structure`` mismatch rather than compared further.
+    """
+    if len(original.instructions) != len(transformed.instructions):
+        return EquivReport(False, 0, [_structure_mismatch(
+            f"{len(original.instructions)} instructions",
+            f"{len(transformed.instructions)} instructions")],
+            transform=transform)
+    if original.entry != transformed.entry:
+        return EquivReport(False, 0, [_structure_mismatch(
+            f"entry={original.entry}", f"entry={transformed.entry}")],
+            transform=transform)
+    if list(original.data) != list(transformed.data):
+        return EquivReport(False, 0, [_structure_mismatch(
+            "data segment", "data segment differs")], transform=transform)
+    blocks_o = [(b.start, b.end) for b in basic_blocks(original)]
+    blocks_t = [(b.start, b.end) for b in basic_blocks(transformed)]
+    if blocks_o != blocks_t:
+        return EquivReport(False, 0, [_structure_mismatch(
+            f"block partition {blocks_o}",
+            f"block partition {blocks_t}")], transform=transform)
+
+    mismatches: list[Mismatch] = []
+    for start, end in blocks_o:
+        interner = _Interner()
+        orig = _SymState(interner, word_width)
+        trans = _SymState(interner, word_width)
+        for pc in range(start, end):
+            orig.step(original.instructions[pc], pc)
+        for pc in range(start, end):
+            trans.step(transformed.instructions[pc], pc)
+        mismatches.extend(_compare_block(orig, trans, start, end))
+    return EquivReport(equivalent=not mismatches,
+                       blocks_checked=len(blocks_o),
+                       mismatches=mismatches, transform=transform)
+
+
+__all__ = [
+    "VERIFY_JSON_SCHEMA",
+    "EquivReport",
+    "Mismatch",
+    "render",
+    "validate_programs",
+]

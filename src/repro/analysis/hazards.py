@@ -34,6 +34,7 @@ from repro.core.config import (
     MultiplierKind,
     ProcessorConfig,
 )
+from repro.isa.instruction import Instruction
 from repro.isa.opcodes import ExecClass, OpSpec
 from repro.opt.blocks import basic_blocks
 from repro.pe.seq_units import (
@@ -66,7 +67,7 @@ class StallEstimate:
 
     config: ProcessorConfig
     total: int = 0
-    by_cause: Counter = field(default_factory=Counter)
+    by_cause: Counter[str] = field(default_factory=Counter)
     edges: list[HazardEdge] = field(default_factory=list)
     control_stalls: int = 0
     structural_stalls: int = 0
@@ -151,7 +152,7 @@ class _Replay:
             return sequential_mul_latency(cfg.word_width)
         return sequential_div_latency(cfg.word_width)
 
-    def step(self, pc: int, instr,
+    def step(self, pc: int, instr: Instruction,
              ) -> tuple[int, str | None, int, int | None, int]:
         """Issue one instruction; returns (issue cycle, binding cause,
         stall cycles, producer pc of the binding edge, control bubbles)."""
@@ -252,7 +253,7 @@ def hazard_edges(program: Program, cfg: ProcessorConfig) -> list[HazardEdge]:
     estimate = estimate_stalls(program, cfg)
     pair_stalls = estimate.pair_stalls
     edges: list[HazardEdge] = []
-    seen: set[tuple] = set()
+    seen: set[tuple[int, int, tuple[str, int]]] = set()
     for block in basic_blocks(program):
         instrs = program.instructions[block.start:block.end]
         deps = build_block_deps(instrs, cfg)

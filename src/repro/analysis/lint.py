@@ -53,12 +53,49 @@ Checks
     hazard class fault campaigns classify as silent data corruption.
     Reported at *info* severity: many kernels guarantee a non-empty
     responder set by construction.
+``lmem-out-of-bounds``
+    A ``plw``/``psw`` whose abstract address interval
+    (:mod:`repro.analysis.absint`) proves the access faults: *error*
+    when every address in the interval is outside local memory,
+    *warning* when a constrained interval partially escapes.
+``width-overflow``
+    Arithmetic that provably wraps at the configured word width: an
+    ``add``/``mul`` whose interval lower bounds already exceed the word
+    mask, a ``sub`` that must borrow, a shift whose constant count
+    discards every bit, or a ``lui`` at a width that cannot hold any
+    upper-immediate bits.
+``dead-search``
+    A reduction whose execution mask — or, for ``rcount``/``rany``/
+    ``rfirst``, the flag being tested — is *provably* all-zero in the
+    abstract state: the search can never respond and the reduction
+    returns its identity element unconditionally.
+``static-cycle-bound``
+    For acyclic single-thread programs, the proven worst-case cycle
+    bound exceeds ``max_cycles``: the watchdog is guaranteed to kill
+    the run before it can complete.
+
+Suppression
+-----------
+A diagnostic can be acknowledged in the assembly source with a tracked
+annotation: any instruction whose source line contains
+``lint: allow(<check-name>)`` (inside a ``#`` comment) has that check's
+diagnostics filtered from the report.  The annotation is per-line and
+per-check, so suppressions stay visible at the offending site.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Callable
 
+from repro.analysis.absint import (
+    AbsintResult,
+    analyze_intervals,
+    check_dead_search,
+    check_lmem_out_of_bounds,
+    check_static_cycle_bound,
+    check_width_overflow,
+)
 from repro.analysis.cfg import CFG, build_cfg
 from repro.analysis.concurrency import (
     ConcurrencyAnalysis,
@@ -72,6 +109,7 @@ from repro.analysis.dataflow import (
     analyze_dataflow,
 )
 from repro.analysis.hazards import (
+    HazardEdge,
     StallEstimate,
     estimate_stalls,
     hazard_edges,
@@ -104,7 +142,7 @@ class Diagnostic:
     message: str
     lineno: int | None = None
     source: str | None = None
-    data: dict | None = None
+    data: dict[str, Any] | None = None
 
     def format(self, filename: str = "<program>") -> str:
         loc = (f"{filename}:{self.lineno}" if self.lineno is not None
@@ -114,8 +152,8 @@ class Diagnostic:
             out += f"\n    {self.source.strip()}"
         return out
 
-    def to_json(self) -> dict:
-        out = {
+    def to_json(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
             "check": self.check,
             "severity": self.severity,
             "pc": self.pc,
@@ -138,6 +176,8 @@ class AnalysisContext:
     dataflow: DataflowResult = field(init=False)
     _concurrency: ConcurrencyAnalysis | None = field(init=False,
                                                     default=None, repr=False)
+    _absint: AbsintResult | None = field(init=False, default=None,
+                                         repr=False)
 
     def __post_init__(self) -> None:
         self.cfg = build_cfg(self.program)
@@ -150,8 +190,15 @@ class AnalysisContext:
                 self.program, self.cfg, self.dataflow)
         return self._concurrency
 
+    def absint(self) -> AbsintResult:
+        """Abstract-interpretation fixpoint, computed once per context."""
+        if self._absint is None:
+            self._absint = analyze_intervals(self.program, self.config,
+                                             self.cfg)
+        return self._absint
+
     def diag(self, check: str, severity: str, pc: int, message: str,
-             data: dict | None = None) -> Diagnostic:
+             data: dict[str, Any] | None = None) -> Diagnostic:
         src = self.program.source_map.get(pc)
         return Diagnostic(check, severity, pc, message,
                           lineno=src.lineno if src else None,
@@ -165,7 +212,7 @@ class LintReport:
 
     diagnostics: list[Diagnostic]
     estimate: StallEstimate
-    hazards: list
+    hazards: list[HazardEdge]
 
     @property
     def findings(self) -> list[Diagnostic]:
@@ -368,7 +415,7 @@ def check_unguarded_reduction(ctx: AnalysisContext) -> list[Diagnostic]:
     return out
 
 
-ALL_CHECKS = {
+ALL_CHECKS: dict[str, Callable[[AnalysisContext], list[Diagnostic]]] = {
     "uninitialized-read": check_uninitialized_read,
     "unreachable-code": check_unreachable_code,
     "mask-scope": check_mask_scope,
@@ -377,7 +424,17 @@ ALL_CHECKS = {
     "lost-delivery": check_lost_delivery,
     "thread-lifecycle": check_thread_lifecycle,
     "unguarded-reduction": check_unguarded_reduction,
+    "lmem-out-of-bounds": check_lmem_out_of_bounds,
+    "width-overflow": check_width_overflow,
+    "dead-search": check_dead_search,
+    "static-cycle-bound": check_static_cycle_bound,
 }
+
+
+def _suppressed(diag: Diagnostic) -> bool:
+    """True when the finding's source line carries a tracked allow."""
+    return (diag.source is not None
+            and f"lint: allow({diag.check})" in diag.source)
 
 
 def lint_program(program: Program, config: ProcessorConfig | None = None,
@@ -394,7 +451,7 @@ def lint_program(program: Program, config: ProcessorConfig | None = None,
             raise ValueError(
                 f"unknown lint check {name!r} (available: "
                 f"{', '.join(sorted(ALL_CHECKS))})") from None
-        diagnostics.extend(check(ctx))
+        diagnostics.extend(d for d in check(ctx) if not _suppressed(d))
     # Deterministic order: primary (pc, check) per the report contract,
     # with severity/message tiebreaks so --json output is byte-stable.
     diagnostics.sort(key=lambda d: (d.pc, d.check, d.severity, d.message))

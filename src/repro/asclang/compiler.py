@@ -60,12 +60,18 @@ _REDUCE_MNEMONICS = {
 
 @dataclass
 class CompiledQuery:
-    """Assembly text + run helper for one compiled query."""
+    """Assembly text + run helper for one compiled query.
+
+    ``validation`` holds the translation-validation proof
+    (:class:`repro.analysis.equiv.EquivReport`) when the query was
+    compiled with ``validate=True``; ``None`` otherwise.
+    """
 
     source: str
     width: int
     num_outputs: int
     output_names: list[str]
+    validation: object | None = None
 
     def run(self, num_pes: int, lmem: dict[int, np.ndarray] | None = None,
             config: ProcessorConfig | None = None) -> dict[str, int]:
@@ -314,14 +320,25 @@ class AscProgram:
 
     # -- compilation ------------------------------------------------------------
 
-    def compile(self, optimize: bool = False) -> CompiledQuery:
+    def compile(self, optimize: bool = False,
+                validate: bool = False) -> CompiledQuery:
         """Lower the query to assembly.
 
         With ``optimize=True`` the emitted program is additionally run
         through the static list scheduler for the *default* machine shape
         (callers targeting a specific machine should schedule the
         assembled Program themselves with :func:`repro.opt.schedule_program`).
+
+        With ``validate=True`` (requires ``optimize=True``) the scheduled
+        output is translation-validated against the unscheduled program
+        (:func:`repro.analysis.equiv.validate_programs`); a refutation
+        raises :class:`AscLangError` and a proof is kept on
+        :attr:`CompiledQuery.validation`.
         """
+        if validate and not optimize:
+            raise AscLangError(
+                "validate=True requires optimize=True: only the "
+                "scheduled pipeline has a transform to validate")
         if not self._outputs:
             raise AscLangError("query has no outputs")
         lines = [".text", "main:"]
@@ -333,6 +350,7 @@ class AscProgram:
             lines.append(f"    sw {reg}, {slot}(s0)")
         lines.append("    halt")
         source = "\n".join(lines) + "\n"
+        validation = None
         if optimize:
             from repro.core.config import MTMode
             from repro.opt import schedule_program
@@ -341,13 +359,24 @@ class AscProgram:
             cfg = ProcessorConfig(num_pes=16, num_threads=1,
                                   word_width=self.width,
                                   mt_mode=MTMode.SINGLE)
-            scheduled = schedule_program(
-                assemble(source, word_width=self.width), cfg)
+            unscheduled = assemble(source, word_width=self.width)
+            scheduled = schedule_program(unscheduled, cfg)
+            if validate:
+                from repro.analysis.equiv import validate_programs
+
+                validation = validate_programs(
+                    unscheduled, scheduled, self.width,
+                    transform="asclang.compile(optimize=True)")
+                if not validation.equivalent:
+                    raise AscLangError(
+                        "translation validation refuted the optimized "
+                        "query:\n" + validation.format())
             body = "\n".join("    " + format_instruction(i)
                              for i in scheduled.instructions)
             source = ".text\nmain:\n" + body + "\n"
         return CompiledQuery(source, self.width, len(self._outputs),
-                             [name for _, name in self._outputs])
+                             [name for _, name in self._outputs],
+                             validation=validation)
 
 
 class _Emitter:

@@ -7,6 +7,7 @@ Commands
 ``run``      run a program on the cycle-accurate simulator
 ``profile``  run under the cycle profiler; text report / JSON / trace
 ``lint``     static hazard/dataflow analysis of a program
+``verify``   translation-validate the static scheduler on a program
 ``faultsim`` seeded fault-injection campaign over a library kernel
 ``batch``    run a JSON jobs file through the cache + worker pool
 ``serve``    long-lived JSON-lines simulation service on stdin/stdout
@@ -18,7 +19,10 @@ Commands
 reports cross-thread races; ``run --profile`` attaches the cycle
 profiler (:mod:`repro.obs`) and adds the attribution to the output;
 ``lint`` exits 1 on input or assembly errors and 2 when ``--strict``
-sees error/warning findings.  ``profile`` is the dedicated front-end:
+sees error/warning findings; ``verify`` exits 4 when translation
+validation *refutes* the scheduled program's equivalence to its input
+(1 on input/assembly errors, 0 on a proof).  ``profile`` is the
+dedicated front-end:
 per-opcode/per-cause report, ``--json`` attribution dump, and
 ``--trace-out`` Chrome-trace export for ``chrome://tracing`` or
 Perfetto.
@@ -31,6 +35,8 @@ Examples::
     python -m repro run program.s --profile
     python -m repro profile program.s --trace-out trace.json
     python -m repro lint program.s --strict --json
+    python -m repro verify program.s --json
+    python -m repro verify --kernels
     python -m repro faultsim --kernel count_matches --faults 100 --jobs 4
     python -m repro batch jobs.json --jobs 4 --cache-dir /tmp/repro-cache
     python -m repro serve --jobs 4
@@ -329,8 +335,14 @@ def _lint_one(name: str, program, cfg: ProcessorConfig,
     return len(report.findings), payload
 
 
-def cmd_lint(args: argparse.Namespace) -> int:
-    cfg = _config_from_args(args)
+def _collect_targets(args: argparse.Namespace, cfg: ProcessorConfig,
+                     command: str,
+                     ) -> list[tuple[str, object, ProcessorConfig]] | None:
+    """Assemble the (file and/or --kernels) targets for lint/verify.
+
+    Returns None after printing a diagnostic when any input cannot be
+    read or assembled — callers translate that into exit code 1.
+    """
     targets: list[tuple[str, object, ProcessorConfig]] = []
     if args.kernels:
         import dataclasses
@@ -345,25 +357,33 @@ def cmd_lint(args: argparse.Namespace) -> int:
             except AsmError as exc:
                 print(f"assembly error in kernel {kern.name}: {exc}",
                       file=sys.stderr)
-                return 1
+                return None
             targets.append((kern.name, program, kcfg))
     if args.files:
         for path in args.files:
             try:
                 source = open(path).read()
             except OSError as exc:
-                print(f"lint: cannot read {path}: {exc.strerror}",
+                print(f"{command}: cannot read {path}: {exc.strerror}",
                       file=sys.stderr)
-                return 1
+                return None
             try:
                 program = assemble(source, word_width=cfg.word_width)
             except AsmError as exc:
                 print(f"{path}: assembly error: {exc}", file=sys.stderr)
-                return 1
+                return None
             targets.append((path, program, cfg))
     if not targets:
-        print("lint: no input (pass a .s file or --kernels)",
+        print(f"{command}: no input (pass a .s file or --kernels)",
               file=sys.stderr)
+        return None
+    return targets
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    cfg = _config_from_args(args)
+    targets = _collect_targets(args, cfg, "lint")
+    if targets is None:
         return 1
 
     findings = 0
@@ -380,6 +400,41 @@ def cmd_lint(args: argparse.Namespace) -> int:
             print(f"lint: {findings} finding(s) (strict mode)",
                   file=sys.stderr)
         return 2
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Translation-validate the static scheduler over each target."""
+    from repro.analysis.equiv import VERIFY_JSON_SCHEMA
+    from repro.opt.scheduler import schedule_program_verified
+
+    cfg = _config_from_args(args)
+    targets = _collect_targets(args, cfg, "verify")
+    if targets is None:
+        return 1
+
+    refuted = 0
+    payloads = []
+    for name, program, tcfg in targets:
+        _, report = schedule_program_verified(program, tcfg)
+        if not report.equivalent:
+            refuted += 1
+        if args.json:
+            payloads.append({
+                "schema": VERIFY_JSON_SCHEMA,
+                "file": name,
+                "machine": _machine_json(tcfg),
+                **report.to_json(),
+            })
+        else:
+            print(f"{name}: {report.format()}")
+    if args.json:
+        out = payloads[0] if len(payloads) == 1 else payloads
+        print(json.dumps(out, indent=2))
+    if refuted:
+        if not args.json:
+            print(f"verify: {refuted} program(s) REFUTED", file=sys.stderr)
+        return 4
     return 0
 
 
@@ -601,6 +656,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--quiet", action="store_true",
                         help="diagnostics only; no hazard/stall summary")
     p_lint.set_defaults(func=cmd_lint)
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="prove the static scheduler's output equivalent (exit 4 "
+             "on refutation)")
+    p_verify.add_argument("files", nargs="*", metavar="file.s",
+                          help="assembly source file(s) to verify")
+    _add_machine_args(p_verify)
+    p_verify.add_argument("--kernels", action="store_true",
+                          help="also verify every built-in benchmark "
+                               "kernel")
+    p_verify.add_argument("--json", action="store_true",
+                          help="emit a machine-readable JSON report")
+    p_verify.set_defaults(func=cmd_verify)
 
     p_fault = sub.add_parser(
         "faultsim", help="seeded fault-injection campaign over a kernel")

@@ -8,6 +8,7 @@ from repro.opt.scheduler import (
     schedule_block,
     schedule_block_order,
     schedule_program,
+    schedule_program_verified,
 )
 
 __all__ = [
@@ -21,4 +22,5 @@ __all__ = [
     "schedule_block",
     "schedule_block_order",
     "schedule_program",
+    "schedule_program_verified",
 ]

@@ -186,3 +186,21 @@ class ListScheduler:
 def schedule_program(program: Program, cfg: ProcessorConfig) -> Program:
     """Convenience wrapper around :class:`ListScheduler`."""
     return ListScheduler(cfg).run(program)
+
+
+def schedule_program_verified(program: Program, cfg: ProcessorConfig,
+                              ) -> tuple[Program, "EquivReport"]:
+    """Schedule and translation-validate in one step.
+
+    Returns the scheduled program together with the
+    :class:`repro.analysis.equiv.EquivReport` proving (or refuting) its
+    block-by-block equivalence to the input.  Callers that demand a
+    validated schedule must check ``report.equivalent`` — the scheduled
+    program is returned either way so refutations can be inspected.
+    """
+    from repro.analysis.equiv import EquivReport, validate_programs
+
+    scheduled = ListScheduler(cfg).run(program)
+    report: EquivReport = validate_programs(program, scheduled,
+                                            cfg.word_width)
+    return scheduled, report

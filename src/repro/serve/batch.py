@@ -61,6 +61,12 @@ class JobResult:
                                      self.snapshot.stats.instructions}
                 if self.snapshot.races is not None:
                     out["result"]["races"] = self.snapshot.races
+                if self.snapshot.verify is not None:
+                    out["result"]["verify"] = {
+                        "equivalent": self.snapshot.verify["equivalent"],
+                        "blocks_checked":
+                            self.snapshot.verify["blocks_checked"],
+                    }
         return out
 
 

@@ -19,6 +19,10 @@ The key is a SHA-256 over a canonical JSON payload:
 * whether the race sanitizer is attached (it adds a ``races`` section
   to the snapshot, so sanitized and unsanitized runs are distinct
   cached artifacts even though the architectural outcome matches);
+* whether the job demands a validated schedule (``verify``): the pool
+  then runs the translation-validated scheduler output, a different
+  instruction order with a different cycle count, and the snapshot
+  gains a ``verify`` section;
 * :data:`CACHE_SCHEMA_VERSION`, so bumping the snapshot schema retires
   every previously cached entry at the key level — stale entries are
   simply never addressed again.
@@ -40,7 +44,11 @@ from repro.faults.spec import FaultSpec
 # 2: ResultSnapshot grew the optional ``races`` section (sanitizer).
 # 3: ResultSnapshot grew the optional ``profile`` section and its stats
 #    JSON gained ``fairness``; jobs carry a ``profile`` flag.
-CACHE_SCHEMA_VERSION = 3
+# 4: ResultSnapshot grew the optional ``verify`` section (translation
+#    validation); jobs carry a ``verify`` flag that also changes the
+#    executed program (the validated schedule runs instead of the
+#    as-assembled order).
+CACHE_SCHEMA_VERSION = 4
 
 
 def canonical_json(payload) -> str:
@@ -89,6 +97,7 @@ def job_key(program: Program, cfg: ProcessorConfig,
             max_cycles: int | None = None,
             sanitize: bool = False,
             profile: bool = False,
+            verify: bool = False,
             schema_version: int = CACHE_SCHEMA_VERSION) -> str:
     """Content hash identifying one simulation. Equal key == same result."""
     payload = {
@@ -100,6 +109,7 @@ def job_key(program: Program, cfg: ProcessorConfig,
         "max_cycles": max_cycles,
         "sanitize": bool(sanitize),
         "profile": bool(profile),
+        "verify": bool(verify),
     }
     digest = hashlib.sha256(canonical_json(payload).encode("utf-8"))
     return digest.hexdigest()

@@ -24,6 +24,12 @@ run; detected races ride back in the snapshot's ``races`` section (and
 in the cache key, so sanitized results are cached separately).
 ``"profile": true`` attaches the cycle profiler the same way; the
 attribution rides back in the snapshot's ``profile`` section.
+``"verify": true`` demands a *validated schedule*: the worker runs the
+static list scheduler, translation-validates its output against the
+assembled program (:mod:`repro.analysis.equiv`), executes the scheduled
+program only on a proof, and fails the job with the refutation report
+otherwise; the proof summary rides back in the snapshot's ``verify``
+section.
 Kernel jobs inherit the kernel's word width and local-memory image, same
 as ``repro faultsim`` does.
 """
@@ -93,6 +99,7 @@ class PreparedJob:
     fault: FaultSpec | None = None
     sanitize: bool = False
     profile: bool = False
+    verify: bool = False
 
 
 @dataclass
@@ -108,6 +115,7 @@ class Job:
     fault: FaultSpec | None = None
     sanitize: bool = False
     profile: bool = False
+    verify: bool = False
 
     def __post_init__(self) -> None:
         if (self.source is None) == (self.kernel is None):
@@ -121,7 +129,7 @@ class Job:
         if not isinstance(obj, dict):
             raise JobError(f"job entry must be an object, got {type(obj).__name__}")
         known = {"name", "source", "file", "kernel", "config", "lmem",
-                 "max_cycles", "fault", "sanitize", "profile"}
+                 "max_cycles", "fault", "sanitize", "profile", "verify"}
         unknown = sorted(set(obj) - known)
         if unknown:
             raise JobError(f"unknown job field(s): {', '.join(unknown)}")
@@ -154,7 +162,8 @@ class Job:
                    config=config_from_json(obj.get("config")),
                    lmem=lmem, max_cycles=obj.get("max_cycles"), fault=fault,
                    sanitize=bool(obj.get("sanitize", False)),
-                   profile=bool(obj.get("profile", False)))
+                   profile=bool(obj.get("profile", False)),
+                   verify=bool(obj.get("verify", False)))
 
     def prepare(self) -> PreparedJob:
         """Assemble and hash this job into its canonical form."""
@@ -179,11 +188,12 @@ class Job:
                 from exc
         key = job_key(program, cfg, lmem=lmem, fault=self.fault,
                       max_cycles=self.max_cycles, sanitize=self.sanitize,
-                      profile=self.profile)
+                      profile=self.profile, verify=self.verify)
         return PreparedJob(name=self.name, key=key, program=program,
                            config=cfg, lmem=lmem,
                            max_cycles=self.max_cycles, fault=self.fault,
-                           sanitize=self.sanitize, profile=self.profile)
+                           sanitize=self.sanitize, profile=self.profile,
+                           verify=self.verify)
 
 
 def jobs_from_json(payload, base_dir=None) -> list[Job]:

@@ -65,6 +65,18 @@ def execute_prepared(item: PreparedJob) -> JobOutcome:
     Module-level (hence picklable) and dependent only on ``item``: this
     is the unit of work both the in-process path and pool workers run.
     """
+    program = item.program
+    verify_summary = None
+    if item.verify:
+        from repro.opt.scheduler import schedule_program_verified
+
+        scheduled, report = schedule_program_verified(program, item.config)
+        if not report.equivalent:
+            return JobOutcome(item.key, STATUS_ERROR,
+                              error="translation validation refuted the "
+                                    "schedule: " + report.format())
+        program = scheduled
+        verify_summary = report.to_json()
     try:
         plane = None
         if item.fault is not None:
@@ -83,7 +95,7 @@ def execute_prepared(item: PreparedJob) -> JobOutcome:
             profiler = CycleProfiler()
         proc = Processor(item.config, faults=plane, sanitizer=sanitizer,
                          profiler=profiler)
-        proc.load(item.program)
+        proc.load(program)
         for col, values in sorted(item.lmem.items()):
             padded = np.zeros(item.config.num_pes, dtype=np.int64)
             n = min(len(values), item.config.num_pes)
@@ -103,7 +115,8 @@ def execute_prepared(item: PreparedJob) -> JobOutcome:
         profile = profiler.to_json()
     return JobOutcome(item.key, STATUS_OK,
                       snapshot=ResultSnapshot.from_result(
-                          result, races=races, profile=profile))
+                          result, races=races, profile=profile,
+                          verify=verify_summary))
 
 
 def _pool_counter(registry):

@@ -48,11 +48,15 @@ class ResultSnapshot:
     # Cycle-attribution profile (CycleProfiler.to_json()); None when the
     # run was not profiled.  Same None-vs-present convention as races.
     profile: dict | None = None
-    schema: int = 3
+    # Translation-validation proof summary (EquivReport.to_json()); None
+    # when the job did not demand a validated schedule.
+    verify: dict | None = None
+    schema: int = 4
 
     @classmethod
     def from_result(cls, result, races: list | None = None,
-                    profile: dict | None = None) -> "ResultSnapshot":
+                    profile: dict | None = None,
+                    verify: dict | None = None) -> "ResultSnapshot":
         """Capture a finished ``RunResult`` (or compatible object)."""
         proc = result.processor
         return cls(
@@ -63,6 +67,7 @@ class ResultSnapshot:
             mem_words=[int(w) for w in proc.mem.dump(0, proc.mem.words)],
             races=races,
             profile=profile,
+            verify=verify,
         )
 
     # -- RunResult-compatible accessors -------------------------------------
@@ -108,6 +113,8 @@ class ResultSnapshot:
             out["races"] = self.races
         if self.profile is not None:
             out["profile"] = self.profile
+        if self.verify is not None:
+            out["verify"] = self.verify
         return out
 
 

@@ -452,7 +452,9 @@ worker:
         assert set(ALL_CHECKS) == {
             "uninitialized-read", "unreachable-code", "mask-scope",
             "thread-context", "cross-thread-race", "lost-delivery",
-            "thread-lifecycle", "unguarded-reduction"}
+            "thread-lifecycle", "unguarded-reduction",
+            "lmem-out-of-bounds", "width-overflow", "dead-search",
+            "static-cycle-bound"}
 
 
 # ---------------------------------------------------------------------------
