@@ -508,7 +508,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
     from repro.obs import DEFAULT_REGISTRY
 
     runner = BatchRunner(cache=_build_cache(args), jobs=args.jobs,
-                         registry=DEFAULT_REGISTRY)
+                         registry=DEFAULT_REGISTRY,
+                         deadline_s=args.deadline)
     try:
         report = runner.run(jobs)
     except JobError as exc:
@@ -534,10 +535,33 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.service import serve_forever
 
     runner = BatchRunner(cache=_build_cache(args), jobs=args.jobs,
-                         registry=DEFAULT_REGISTRY)
+                         registry=DEFAULT_REGISTRY,
+                         deadline_s=args.deadline)
     return serve_forever(runner=runner, max_pending=args.max_pending,
                          full_results=args.full,
-                         registry=DEFAULT_REGISTRY)
+                         registry=DEFAULT_REGISTRY, shed=args.shed)
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.obs import DEFAULT_REGISTRY
+    from repro.serve.chaos import run_chaos_campaign
+
+    report = run_chaos_campaign(
+        jobs_count=args.chaos_jobs, seed=args.seed, workers=args.workers,
+        events=args.events, deadline_s=args.deadline,
+        poison=args.poison, registry=DEFAULT_REGISTRY)
+    text = (json.dumps(report.to_json(), indent=2, sort_keys=True)
+            if args.json else report.render())
+    if args.output:
+        import pathlib
+
+        pathlib.Path(args.output).write_text(text + "\n")
+    else:
+        print(text)
+    if not report.ok:
+        print("chaos: invariant violation", file=sys.stderr)
+        return 2
+    return 0
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -711,6 +735,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="emit the machine-readable batch report")
     p_batch.add_argument("--full", action="store_true",
                          help="include complete result snapshots in --json")
+    p_batch.add_argument("--deadline", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-job wall-clock deadline (default: none; "
+                              "the max_cycles watchdog still applies)")
     p_batch.set_defaults(func=cmd_batch)
 
     p_serve = sub.add_parser(
@@ -726,7 +754,39 @@ def build_parser() -> argparse.ArgumentParser:
                          help="refuse batches larger than this (default 256)")
     p_serve.add_argument("--full", action="store_true",
                          help="include complete result snapshots in replies")
+    p_serve.add_argument("--deadline", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-job wall-clock deadline (default: none)")
+    p_serve.add_argument("--shed", choices=("refuse", "oldest"),
+                         default="refuse",
+                         help="past --max-pending: refuse the whole batch "
+                              "(default) or shed the oldest jobs and run "
+                              "the rest")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="seeded chaos campaign against the serve stack")
+    p_chaos.add_argument("--jobs", dest="chaos_jobs", type=int, default=100,
+                         help="synthetic batch jobs to run (default 100)")
+    p_chaos.add_argument("--workers", type=int, default=4,
+                         help="pool worker processes (default 4)")
+    p_chaos.add_argument("--events", type=int, default=12,
+                         help="chaos events to draw from the seed "
+                              "(default 12)")
+    p_chaos.add_argument("--seed", type=int, default=0,
+                         help="campaign seed (plan + backoff jitter)")
+    p_chaos.add_argument("--poison", type=int, default=0,
+                         help="add this many unkillable poison jobs "
+                              "(exercises quarantine)")
+    p_chaos.add_argument("--deadline", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-job wall-clock deadline for the "
+                              "chaotic run")
+    p_chaos.add_argument("--json", action="store_true",
+                         help="emit the machine-readable campaign report")
+    p_chaos.add_argument("-o", "--output", default=None,
+                         help="write the report here instead of stdout")
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_info = sub.add_parser("info", help="machine/resource summary")
     _add_machine_args(p_info)

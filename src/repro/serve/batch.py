@@ -21,7 +21,8 @@ from dataclasses import dataclass, field
 from repro.obs.metrics import MetricsRegistry
 from repro.serve.cache import ResultCache
 from repro.serve.jobs import Job
-from repro.serve.pool import JobOutcome, run_prepared
+from repro.serve.pool import DEGRADED_STATUSES, JobOutcome, run_prepared
+from repro.serve.resilience import BackoffPolicy, Quarantine
 from repro.serve.snapshot import ResultSnapshot
 from repro.util.tables import format_table
 
@@ -79,10 +80,17 @@ class BatchReport:
     computed: int = 0
     elapsed_s: float = 0.0
     cache_stats: dict = field(default_factory=dict)
+    resilience: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         return all(r.ok for r in self.results)
+
+    @property
+    def degraded(self) -> int:
+        """Jobs that finished with an explicit degraded status."""
+        return sum(1 for r in self.results
+                   if r.status in DEGRADED_STATUSES)
 
     def origin_count(self, origin: str) -> int:
         return sum(1 for r in self.results if r.origin == origin)
@@ -110,10 +118,12 @@ class BatchReport:
                 "coalesced": self.origin_count(ORIGIN_DEDUP),
                 "cache_served": self.cache_served,
                 "cache_hit_rate": round(self.cache_hit_rate, 6),
+                "degraded": self.degraded,
                 "elapsed_s": round(self.elapsed_s, 4),
                 "jobs_per_s": round(len(self.results)
                                     / max(self.elapsed_s, 1e-9), 2),
                 "cache": self.cache_stats,
+                "resilience": self.resilience,
             },
         }
 
@@ -128,8 +138,8 @@ class BatchReport:
         m = self.to_json()["metrics"]
         metric_rows = [(k, m[k]) for k in
                        ("jobs", "unique_jobs", "computed", "coalesced",
-                        "cache_served", "cache_hit_rate", "elapsed_s",
-                        "jobs_per_s")]
+                        "cache_served", "cache_hit_rate", "degraded",
+                        "elapsed_s", "jobs_per_s")]
         summary = format_table(("metric", "value"), metric_rows,
                                title="batch metrics")
         return f"{table}\n\n{summary}"
@@ -143,14 +153,29 @@ class BatchRunner:
     registry is created so library use stays hermetic.  The CLI entry
     points pass the process-wide default so one snapshot covers the
     cache, pool, batch, and service layers together.
+
+    Resilience knobs (all optional; see ``pool.run_prepared``):
+    ``deadline_s`` is a per-job wall-clock ceiling, ``backoff`` the
+    seeded retry policy, ``quarantine`` the poison-job strike book —
+    owned by the runner so strikes persist across batches — and
+    ``chaos`` an injection plane for tests and drills.
     """
 
     def __init__(self, cache: ResultCache | None = None, jobs: int = 1,
                  retries: int = 1, registry: MetricsRegistry | None = None,
-                 ) -> None:
+                 *, deadline_s: float | None = None,
+                 backoff: BackoffPolicy | None = None,
+                 quarantine: Quarantine | None = None,
+                 chaos=None, stall_timeout_s: float | None = None) -> None:
         self.cache = cache if cache is not None else ResultCache.disabled()
         self.jobs = jobs
         self.retries = retries
+        self.deadline_s = deadline_s
+        self.backoff = backoff if backoff is not None else BackoffPolicy()
+        self.quarantine = (quarantine if quarantine is not None
+                           else Quarantine())
+        self.chaos = chaos
+        self.stall_timeout_s = stall_timeout_s
         self.registry = registry if registry is not None else MetricsRegistry()
         self._batches = self.registry.counter(
             "batch_runs_total", "batches executed by the batch runner")
@@ -187,7 +212,12 @@ class BatchRunner:
 
         outcomes = run_prepared(to_compute, jobs=self.jobs,
                                 retries=self.retries,
-                                registry=self.registry)
+                                registry=self.registry,
+                                deadline_s=self.deadline_s,
+                                chaos=self.chaos,
+                                backoff=self.backoff,
+                                quarantine=self.quarantine,
+                                stall_timeout_s=self.stall_timeout_s)
         by_key: dict[str, JobOutcome] = {o.key: o for o in outcomes}
         for outcome in outcomes:
             if outcome.ok:
@@ -212,6 +242,10 @@ class BatchRunner:
                     snapshot=outcome.snapshot, error=outcome.error))
         report.elapsed_s = time.perf_counter() - started
         report.cache_stats = self.cache.stats.to_json()
+        report.resilience = {
+            "quarantine": self.quarantine.to_json(),
+            "breaker": self.cache.breaker.to_json(),
+        }
         self._batches.inc()
         for result in report.results:
             self._jobs_by_origin.inc(origin=result.origin)

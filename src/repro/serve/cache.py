@@ -1,7 +1,8 @@
 """Two-tier content-addressed result cache.
 
 Tier 1 is an in-process LRU of :class:`~repro.serve.snapshot.ResultSnapshot`
-objects; tier 2 is an on-disk pickle store laid out by key prefix::
+objects; tier 2 is an on-disk store of checksummed snapshot envelopes
+laid out by key prefix::
 
     <cache_dir>/<key[:2]>/<key>.pkl
 
@@ -13,31 +14,45 @@ changes the key, and stale entries simply stop being addressed.
 Robustness rules:
 
 * disk writes are atomic (temp file + ``os.replace``) so a killed worker
-  can never publish a torn entry;
-* disk reads tolerate corruption — an unreadable or wrong-typed entry is
-  counted, deleted best-effort, and reported as a miss, which makes the
-  cache strictly an optimization: the caller recomputes and overwrites;
+  can never publish a torn entry through the normal path;
+* entries are checksummed envelopes (:func:`~repro.serve.snapshot.
+  pack_snapshot`), so even a write torn *by the filesystem* — or a bit
+  flipped at rest — is a deterministic corruption verdict on read, never
+  a wrong answer;
+* disk reads tolerate corruption — a damaged entry is counted, deleted
+  best-effort, and reported as a miss, which makes the cache strictly an
+  optimization: the caller recomputes and overwrites;
+* the disk tier sits behind a :class:`~repro.serve.resilience.
+  CircuitBreaker`: an I/O-error/corruption storm trips it open and the
+  cache degrades to memory-only (skipped operations are counted as
+  ``disk_skips``), probing its way back closed once the storm passes;
 * all traffic is counted in :class:`CacheStats` so batch reports can
   show exactly where results came from.
 
 The default store location is ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``;
 pass ``cache_dir=None`` for a memory-only cache (used by tests and the
-``--no-cache`` CLI paths via ``ResultCache.disabled()``).
+``--no-cache`` CLI paths via ``ResultCache.disabled()``).  ``chaos``
+accepts a :class:`~repro.serve.chaos.ChaosPlane` whose write hooks
+inject torn writes and fsync failures; the hook sits behind an
+``is not None`` check and costs nothing when absent.
 """
 
 from __future__ import annotations
 
 import os
 import pathlib
-import pickle
 import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
-from repro.serve.snapshot import ResultSnapshot
-
-_READ_ERRORS = (pickle.UnpicklingError, EOFError, OSError, AttributeError,
-                ImportError, IndexError, MemoryError, TypeError, ValueError)
+from repro.serve.chaos import ChaosKind
+from repro.serve.resilience import BREAKER_CLOSED, CircuitBreaker
+from repro.serve.snapshot import (
+    CorruptSnapshot,
+    ResultSnapshot,
+    pack_snapshot,
+    unpack_snapshot,
+)
 
 
 def default_cache_dir() -> pathlib.Path:
@@ -65,6 +80,8 @@ class CacheStats:
     stores: int = 0
     evictions: int = 0
     corrupt_entries: int = 0
+    disk_errors: int = 0
+    disk_skips: int = 0
     _counter: object = field(default=None, repr=False, compare=False)
 
     def bind(self, registry) -> None:
@@ -96,6 +113,8 @@ class CacheStats:
                 "misses": self.misses, "stores": self.stores,
                 "evictions": self.evictions,
                 "corrupt_entries": self.corrupt_entries,
+                "disk_errors": self.disk_errors,
+                "disk_skips": self.disk_skips,
                 "hit_rate": round(self.hit_rate, 6)}
 
 
@@ -103,21 +122,39 @@ class ResultCache:
     """In-memory LRU over an optional on-disk content-addressed store."""
 
     def __init__(self, cache_dir: pathlib.Path | str | None = None,
-                 mem_entries: int = 256, registry=None) -> None:
+                 mem_entries: int = 256, registry=None,
+                 breaker: CircuitBreaker | None = None,
+                 chaos=None) -> None:
         if mem_entries < 1:
             raise ValueError("mem_entries must be >= 1")
         self.cache_dir = (pathlib.Path(cache_dir)
                           if cache_dir is not None else None)
         self.mem_entries = mem_entries
         self.stats = CacheStats()
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.chaos = chaos
         if registry is not None:
             self.stats.bind(registry)
+            self.breaker.bind(registry)
         self._mem: OrderedDict[str, ResultSnapshot] = OrderedDict()
 
     @classmethod
     def disabled(cls) -> "ResultCache":
         """A minimal memory-only cache (no disk tier)."""
         return cls(cache_dir=None, mem_entries=1)
+
+    @property
+    def degraded(self) -> bool:
+        """True while the disk tier is tripped out (memory-only mode)."""
+        return (self.cache_dir is not None
+                and self.breaker.state != BREAKER_CLOSED)
+
+    def health(self) -> dict:
+        """Operational state for the service ``health`` surface."""
+        return {"disk_tier": self.cache_dir is not None,
+                "degraded": self.degraded,
+                "breaker": self.breaker.to_json(),
+                "stats": self.stats.to_json()}
 
     def _path(self, key: str) -> pathlib.Path:
         assert self.cache_dir is not None
@@ -141,31 +178,39 @@ class ResultCache:
             self.stats.bump("mem_hits")
             return hit, "memory"
         if self.cache_dir is not None:
-            snap = self._read_disk(key)
-            if snap is not None:
-                self.stats.bump("disk_hits")
-                self._remember(key, snap)
-                return snap, "disk"
+            if self.breaker.allow():
+                snap = self._read_disk(key)
+                if snap is not None:
+                    self.stats.bump("disk_hits")
+                    self._remember(key, snap)
+                    return snap, "disk"
+            else:
+                self.stats.bump("disk_skips")
         self.stats.bump("misses")
         return None, "miss"
 
     def _read_disk(self, key: str) -> ResultSnapshot | None:
+        """One breaker-admitted disk read; reports its outcome."""
         path = self._path(key)
-        if not path.exists():
-            return None
         try:
-            with open(path, "rb") as fh:
-                snap = pickle.load(fh)
-            if not isinstance(snap, ResultSnapshot):
-                raise TypeError(f"cache entry is {type(snap).__name__}")
-        except _READ_ERRORS:
+            if not path.exists():
+                self.breaker.ok()
+                return None
+            snap = unpack_snapshot(path.read_bytes())
+        except CorruptSnapshot:
             # Torn/garbage/foreign entry: drop it and recompute.
             self.stats.bump("corrupt_entries")
+            self.breaker.fail()
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
+        except OSError:
+            self.stats.bump("disk_errors")
+            self.breaker.fail()
+            return None
+        self.breaker.ok()
         return snap
 
     # -- stores --------------------------------------------------------------
@@ -174,7 +219,10 @@ class ResultCache:
         """Store a snapshot under ``key`` in both tiers."""
         self._remember(key, snap)
         if self.cache_dir is not None:
-            self._write_disk(key, snap)
+            if self.breaker.allow():
+                self._write_disk(key, snap)
+            else:
+                self.stats.bump("disk_skips")
         self.stats.bump("stores")
 
     def _remember(self, key: str, snap: ResultSnapshot) -> None:
@@ -185,20 +233,38 @@ class ResultCache:
             self.stats.bump("evictions")
 
     def _write_disk(self, key: str, snap: ResultSnapshot) -> None:
+        """One breaker-admitted disk write; reports its outcome."""
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        blob = pack_snapshot(snap)
+        action = (self.chaos.next_write_action()
+                  if self.chaos is not None else None)
+        if action is not None and action.kind is ChaosKind.WRITE_TRUNCATE:
+            # A filesystem-level torn write: only a prefix lands.  The
+            # envelope checksum turns this into a deterministic
+            # corruption verdict on the next read.
+            blob = blob[:max(1, len(blob) // 2)]
         try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(snap, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
+            if action is not None and action.kind is ChaosKind.FSYNC_FAIL:
+                raise OSError("chaos: injected fsync failure")
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(blob)
+                os.replace(tmp, path)
+            except OSError:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
         except OSError:
             # Disk tier is best-effort: a failed publish must not fail
             # the batch, the result is still returned from memory.
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+            self.stats.bump("disk_errors")
+            self.breaker.fail()
+            return
+        self.breaker.ok()
 
     # -- maintenance ---------------------------------------------------------
 

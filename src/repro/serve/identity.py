@@ -48,7 +48,10 @@ from repro.faults.spec import FaultSpec
 #    validation); jobs carry a ``verify`` flag that also changes the
 #    executed program (the validated schedule runs instead of the
 #    as-assembled order).
-CACHE_SCHEMA_VERSION = 4
+# 5: disk cache entries became checksummed envelopes
+#    (``snapshot.pack_snapshot``); pre-envelope pickles are unreadable,
+#    so retire their keys.
+CACHE_SCHEMA_VERSION = 5
 
 
 def canonical_json(payload) -> str:

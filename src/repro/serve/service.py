@@ -12,11 +12,17 @@ Operations::
     {"op": "batch", "id": 2, "jobs": [{...}, ...]}    -> ordered results
     {"op": "stats", "id": 3}                          -> cache counters +
                                                          metrics snapshot
+    {"op": "health", "id": 4}                         -> breaker / pool /
+                                                         quarantine state
     {"op": "shutdown"}                                -> reply, then exit
 
 The ``stats`` reply's ``metrics`` section is the full
 :class:`~repro.obs.MetricsRegistry` snapshot for this process, covering
-the cache, pool, batch, and per-op request counters in one place.
+the cache, pool, batch, and per-op request counters in one place.  The
+``health`` reply is the resilience surface: circuit-breaker state, the
+poison-job quarantine book, and shed counters — ``"status"`` is
+``"degraded"`` whenever any of them is off nominal, so a supervisor can
+alert on one field.
 
 Scale behaviour:
 
@@ -24,12 +30,15 @@ Scale behaviour:
   shared result cache serves repeat traffic across requests (and across
   service restarts, via the disk tier);
 * **backpressure** — the executor queue is bounded at ``max_pending``
-  jobs; a batch that would exceed it is refused outright with
-  ``{"ok": false, "error": "overloaded", ...}`` so clients shed load
-  explicitly instead of piling onto an unbounded queue;
+  jobs; past it, the shed policy decides: ``refuse`` (default) rejects
+  the whole batch with ``{"ok": false, "error": "overloaded", ...}``,
+  ``oldest`` shed-drops the oldest jobs in the request (reported
+  per-job with status ``"shed"``) and runs the newest ``max_pending``;
 * **fault isolation** — per-job failures (assembly errors, simulator
-  faults, timeouts) are reported in the reply for that job; malformed
-  requests get an error reply; only EOF or ``shutdown`` stops the loop.
+  faults, timeouts, deadlines, quarantines) are reported in the reply
+  for that job; malformed JSON, oversized lines, and even internal
+  dispatch bugs yield per-line error replies — only EOF or ``shutdown``
+  stops the loop.
 """
 
 from __future__ import annotations
@@ -39,10 +48,29 @@ import sys
 
 from repro.serve.batch import BatchRunner
 from repro.serve.cache import ResultCache
-from repro.serve.jobs import Job, JobError, jobs_from_json
+from repro.serve.jobs import JobError, jobs_from_json
 
 #: Refuse batches larger than this many jobs (queue bound).
 DEFAULT_MAX_PENDING = 256
+
+#: Refuse request lines longer than this many characters: a malformed
+#: client (or a binary stream pointed at the socket) must cost one error
+#: reply, not an unbounded json.loads.
+DEFAULT_MAX_LINE_BYTES = 1 << 20
+
+# Load-shedding policies past ``max_pending``.
+SHED_REFUSE = "refuse"
+SHED_OLDEST = "oldest"
+SHED_POLICIES = (SHED_REFUSE, SHED_OLDEST)
+
+
+def _job_name(obj) -> str:
+    """Best-effort display name for a job object we will not run."""
+    if isinstance(obj, dict):
+        name = (obj.get("name") or obj.get("kernel") or obj.get("file")
+                or "inline")
+        return str(name)
+    return "?"
 
 
 class ServeSession:
@@ -50,11 +78,20 @@ class ServeSession:
 
     def __init__(self, runner: BatchRunner | None = None,
                  max_pending: int = DEFAULT_MAX_PENDING,
-                 full_results: bool = False, registry=None) -> None:
+                 full_results: bool = False, registry=None,
+                 shed: str = SHED_REFUSE,
+                 max_line_bytes: int = DEFAULT_MAX_LINE_BYTES) -> None:
+        if shed not in SHED_POLICIES:
+            raise ValueError(f"unknown shed policy {shed!r}; "
+                             f"choose from {', '.join(SHED_POLICIES)}")
+        if max_line_bytes < 1:
+            raise ValueError("max_line_bytes must be >= 1")
         self.runner = runner or BatchRunner(ResultCache(),
                                             registry=registry)
         self.max_pending = max_pending
         self.full_results = full_results
+        self.shed = shed
+        self.max_line_bytes = max_line_bytes
         # One registry for the whole session: the runner's unless the
         # caller wired an explicit (e.g. process-wide) one through.
         self.registry = (registry if registry is not None
@@ -62,13 +99,31 @@ class ServeSession:
         self._requests = self.registry.counter(
             "serve_requests_total", "service requests received, by op",
             labels=("op",))
+        self._line_errors = self.registry.counter(
+            "serve_line_errors_total",
+            "request lines rejected before dispatch, by reason",
+            labels=("reason",))
+        self._shed = self.registry.counter(
+            "serve_shed_jobs_total", "jobs dropped by load shedding")
         self.requests = 0
+        self.shed_jobs = 0
         self.shutdown = False
 
     # -- request handling -----------------------------------------------------
 
     def handle_line(self, line: str) -> dict | None:
-        """One request line -> one reply dict (None for blank lines)."""
+        """One request line -> one reply dict (None for blank lines).
+
+        Never raises: malformed JSON, oversized lines, non-object
+        payloads, and internal dispatch failures all become error
+        replies, so one bad client line can never kill the service.
+        """
+        if len(line) > self.max_line_bytes:
+            self.requests += 1
+            self._line_errors.inc(reason="oversized")
+            return {"ok": False,
+                    "error": f"line too long ({len(line)} > "
+                             f"{self.max_line_bytes} bytes)"}
         line = line.strip()
         if not line:
             return None
@@ -76,17 +131,25 @@ class ServeSession:
         try:
             request = json.loads(line)
         except json.JSONDecodeError as exc:
+            self._line_errors.inc(reason="bad_json")
             return {"ok": False, "error": f"bad JSON: {exc.msg}"}
         if not isinstance(request, dict):
+            self._line_errors.inc(reason="not_object")
             return {"ok": False, "error": "request must be a JSON object"}
-        reply = self._dispatch(request)
+        try:
+            reply = self._dispatch(request)
+        except Exception as exc:   # hardening: dispatch must not crash
+            self._line_errors.inc(reason="internal")
+            reply = {"ok": False,
+                     "error": f"internal error: "
+                              f"{type(exc).__name__}: {exc}"}
         if "id" in request:
             reply["id"] = request["id"]
         return reply
 
     def _dispatch(self, request: dict) -> dict:
         op = request.get("op")
-        known = op in ("ping", "stats", "shutdown", "run", "batch")
+        known = op in ("ping", "stats", "health", "shutdown", "run", "batch")
         self._requests.inc(op=op if known else "unknown")
         if op == "ping":
             return {"ok": True, "pong": True}
@@ -94,6 +157,8 @@ class ServeSession:
             return {"ok": True, "requests": self.requests,
                     "cache": self.runner.cache.stats.to_json(),
                     "metrics": self.registry.snapshot()}
+        if op == "health":
+            return {"ok": True, "health": self.health()}
         if op == "shutdown":
             self.shutdown = True
             return {"ok": True, "shutdown": True}
@@ -106,11 +171,44 @@ class ServeSession:
             return self._run_jobs(jobs, single=False)
         return {"ok": False, "error": f"unknown op {op!r}"}
 
+    def health(self) -> dict:
+        """The resilience surface: breaker, quarantine, shed, pool."""
+        cache_health = self.runner.cache.health()
+        quarantine = self.runner.quarantine.to_json()
+        degraded = (cache_health["degraded"]
+                    or bool(quarantine["quarantined"]))
+        return {
+            "status": "degraded" if degraded else "ok",
+            "requests": self.requests,
+            "shed_jobs": self.shed_jobs,
+            "shed_policy": self.shed,
+            "max_pending": self.max_pending,
+            "pool_jobs": self.runner.jobs,
+            "deadline_s": self.runner.deadline_s,
+            "cache": cache_health,
+            "quarantine": quarantine,
+        }
+
     def _run_jobs(self, raw_jobs: list, single: bool) -> dict:
+        shed_replies: list[dict] = []
         if len(raw_jobs) > self.max_pending:
-            return {"ok": False, "error": "overloaded",
-                    "max_pending": self.max_pending,
-                    "requested": len(raw_jobs)}
+            if single or self.shed == SHED_REFUSE:
+                return {"ok": False, "error": "overloaded",
+                        "max_pending": self.max_pending,
+                        "requested": len(raw_jobs)}
+            # Shed-oldest: the front of the list is the oldest work;
+            # drop it explicitly (per-job "shed" entries) and run the
+            # newest ``max_pending`` jobs.
+            cut = len(raw_jobs) - self.max_pending
+            for obj in raw_jobs[:cut]:
+                shed_replies.append(
+                    {"name": _job_name(obj), "status": "shed",
+                     "error": f"load shed: batch of {len(raw_jobs)} "
+                              f"exceeded max_pending="
+                              f"{self.max_pending}"})
+            raw_jobs = raw_jobs[cut:]
+            self.shed_jobs += cut
+            self._shed.inc(cut)
         try:
             jobs = jobs_from_json(list(raw_jobs))
         except JobError as exc:
@@ -124,19 +222,29 @@ class ServeSession:
             result = payload["results"][0]
             origin = report.results[0].origin
             return {"ok": report.ok, "origin": origin, **result}
-        origins = [r.origin for r in report.results]
-        return {"ok": report.ok, "origins": origins, **payload}
+        origins = (["shed"] * len(shed_replies)
+                   + [r.origin for r in report.results])
+        payload["results"] = shed_replies + payload["results"]
+        ok = report.ok and not shed_replies
+        return {"ok": ok, "origins": origins, **payload}
 
 
 def serve_forever(stdin=None, stdout=None,
                   runner: BatchRunner | None = None,
                   max_pending: int = DEFAULT_MAX_PENDING,
-                  full_results: bool = False, registry=None) -> int:
-    """Pump the JSON-lines protocol until EOF or a shutdown request."""
+                  full_results: bool = False, registry=None,
+                  shed: str = SHED_REFUSE,
+                  max_line_bytes: int = DEFAULT_MAX_LINE_BYTES) -> int:
+    """Pump the JSON-lines protocol until EOF or a shutdown request.
+
+    A final line without a trailing newline (mid-line EOF) is handled
+    like any other line: it gets a reply, then the loop ends at EOF.
+    """
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
     session = ServeSession(runner=runner, max_pending=max_pending,
-                           full_results=full_results, registry=registry)
+                           full_results=full_results, registry=registry,
+                           shed=shed, max_line_bytes=max_line_bytes)
     for line in stdin:
         reply = session.handle_line(line)
         if reply is None:
@@ -148,4 +256,5 @@ def serve_forever(stdin=None, stdout=None,
     return 0
 
 
-__all__ = ["DEFAULT_MAX_PENDING", "ServeSession", "serve_forever"]
+__all__ = ["DEFAULT_MAX_LINE_BYTES", "DEFAULT_MAX_PENDING", "SHED_OLDEST",
+           "SHED_POLICIES", "SHED_REFUSE", "ServeSession", "serve_forever"]

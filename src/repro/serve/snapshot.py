@@ -20,6 +20,8 @@ output extraction, oracles, the batch service — accept either.
 
 from __future__ import annotations
 
+import hashlib
+import pickle
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -116,6 +118,53 @@ class ResultSnapshot:
         if self.verify is not None:
             out["verify"] = self.verify
         return out
+
+
+# ---------------------------------------------------------------------------
+# integrity-checked wire/disk envelope
+# ---------------------------------------------------------------------------
+
+#: Envelope layout: magic, SHA-256 of the payload, then the pickled
+#: snapshot.  The checksum makes torn writes and bit flips *deterministic*
+#: corruption verdicts — without it, a flipped bit can still unpickle
+#: into a well-typed but wrong snapshot.
+SNAPSHOT_MAGIC = b"RSNP"
+_DIGEST_BYTES = 32
+
+
+class CorruptSnapshot(ValueError):
+    """A snapshot envelope failed its integrity checks."""
+
+
+def pack_snapshot(snap: ResultSnapshot) -> bytes:
+    """Serialize a snapshot into a checksummed envelope."""
+    payload = pickle.dumps(snap, protocol=pickle.HIGHEST_PROTOCOL)
+    return SNAPSHOT_MAGIC + hashlib.sha256(payload).digest() + payload
+
+
+def unpack_snapshot(blob: bytes) -> ResultSnapshot:
+    """Decode :func:`pack_snapshot` output, verifying integrity.
+
+    Raises :class:`CorruptSnapshot` on any damage: wrong magic (foreign
+    or pre-envelope entry), truncation, checksum mismatch (bit flips),
+    an unpicklable payload, or a payload of the wrong type.
+    """
+    header = len(SNAPSHOT_MAGIC) + _DIGEST_BYTES
+    if len(blob) < header or not blob.startswith(SNAPSHOT_MAGIC):
+        raise CorruptSnapshot("missing or truncated envelope header")
+    digest = blob[len(SNAPSHOT_MAGIC):header]
+    payload = blob[header:]
+    if hashlib.sha256(payload).digest() != digest:
+        raise CorruptSnapshot("payload checksum mismatch (torn write "
+                              "or bit corruption)")
+    try:
+        snap = pickle.loads(payload)
+    except Exception as exc:
+        raise CorruptSnapshot(f"payload does not unpickle: {exc}") from exc
+    if not isinstance(snap, ResultSnapshot):
+        raise CorruptSnapshot(
+            f"payload is {type(snap).__name__}, not ResultSnapshot")
+    return snap
 
 
 def stats_to_json(stats: Stats) -> dict:

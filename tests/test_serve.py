@@ -452,6 +452,105 @@ class TestServeSession:
         assert replies[-1]["shutdown"] is True
 
 
+class TestServeHardening:
+    """One bad client line must cost one error reply, never the service."""
+
+    def session(self, **kwargs):
+        return ServeSession(
+            runner=BatchRunner(cache=ResultCache.disabled()), **kwargs)
+
+    def job_obj(self, name="x"):
+        return {"name": name, "source": DEMO,
+                "config": {"num_pes": 4, "num_threads": 2}}
+
+    def test_oversized_line_is_refused_not_parsed(self):
+        ses = self.session(max_line_bytes=64)
+        reply = ses.handle_line('{"op": "ping", "pad": "' + "x" * 100 + '"}')
+        assert reply["ok"] is False and "line too long" in reply["error"]
+        registry = ses.registry
+        assert registry.get("serve_line_errors_total") \
+            .value(reason="oversized") == 1
+
+    def test_non_object_request_is_an_error_reply(self):
+        reply = self.session().handle_line('[1, 2, 3]')
+        assert reply["ok"] is False and "JSON object" in reply["error"]
+
+    def test_internal_dispatch_bug_becomes_error_reply(self):
+        ses = self.session()
+
+        def boom(request):
+            raise RuntimeError("dispatch bug")
+
+        ses._dispatch = boom
+        reply = ses.handle_line('{"op": "ping", "id": 4}')
+        assert reply["ok"] is False
+        assert "internal error: RuntimeError: dispatch bug" in reply["error"]
+        assert reply["id"] == 4        # id still echoed
+        # The session survives and keeps serving.
+        del ses._dispatch
+        assert ses.handle_line('{"op": "ping"}')["ok"]
+
+    def test_mid_line_eof_still_gets_a_reply(self):
+        import io
+
+        from repro.serve import serve_forever
+
+        out = io.StringIO()
+        # Final line has no trailing newline: a client died mid-write.
+        rc = serve_forever(stdin=io.StringIO('{"op": "ping"}'), stdout=out,
+                           runner=BatchRunner(cache=ResultCache.disabled()))
+        assert rc == 0
+        assert json.loads(out.getvalue())["pong"] is True
+
+    def test_health_surface(self):
+        ses = self.session()
+        reply = ses.handle_line('{"op": "health"}')
+        assert reply["ok"]
+        health = reply["health"]
+        assert health["status"] == "ok"
+        assert health["cache"]["breaker"]["state"] == "closed"
+        assert health["quarantine"]["quarantined"] == {}
+        assert health["shed_jobs"] == 0
+
+    def test_health_reports_quarantine_as_degraded(self):
+        ses = self.session()
+        ses.runner.quarantine.strike("k", "boom")
+        ses.runner.quarantine.strike("k", "boom")
+        ses.runner.quarantine.strike("k", "boom")
+        health = ses.handle_line('{"op": "health"}')["health"]
+        assert health["status"] == "degraded"
+
+    def test_shed_oldest_drops_front_and_keeps_order(self):
+        ses = self.session(max_pending=2, shed="oldest")
+        reply = ses.handle_line(json.dumps(
+            {"op": "batch",
+             "jobs": [self.job_obj(str(i)) for i in range(4)]}))
+        assert reply["ok"] is False          # shedding is not a clean batch
+        assert [r["name"] for r in reply["results"]] == \
+            ["0", "1", "2", "3"]             # request order preserved
+        assert [r["status"] for r in reply["results"]] == \
+            ["shed", "shed", "ok", "ok"]
+        assert reply["origins"][:2] == ["shed", "shed"]
+        assert ses.shed_jobs == 2
+        assert ses.registry.get("serve_shed_jobs_total").value() == 2
+
+    def test_shed_refuse_stays_the_default(self):
+        reply = self.session(max_pending=1).handle_line(json.dumps(
+            {"op": "batch", "jobs": [self.job_obj("a"), self.job_obj("b")]}))
+        assert reply == {"ok": False, "error": "overloaded",
+                         "max_pending": 1, "requested": 2}
+
+    def test_single_run_never_sheds(self):
+        ses = self.session(max_pending=0, shed="oldest")
+        reply = ses.handle_line(json.dumps(
+            {"op": "run", "job": self.job_obj()}))
+        assert reply["ok"] is False and reply["error"] == "overloaded"
+
+    def test_unknown_shed_policy_rejected(self):
+        with pytest.raises(ValueError):
+            self.session(shed="noise")
+
+
 # ---------------------------------------------------------------------------
 # CLI integration
 # ---------------------------------------------------------------------------
@@ -520,3 +619,22 @@ class TestServeCli:
         assert main(argv + ["--jobs", "2"]) == 0
         parallel = capsys.readouterr().out
         assert serial == parallel
+
+    def test_chaos_cli_json_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_file = tmp_path / "report.json"
+        assert main(["chaos", "--jobs", "8", "--workers", "2",
+                     "--events", "4", "--seed", "3", "--json",
+                     "-o", str(out_file)]) == 0
+        report = json.loads(out_file.read_text())
+        assert report["invariants"]["ok"] is True
+        assert report["invariants"]["lost"] == []
+        assert len(report["results"]) == 8
+
+    def test_chaos_cli_human_report(self, capsys):
+        from repro.cli import main
+
+        assert main(["chaos", "--jobs", "4", "--workers", "1",
+                     "--events", "2", "--seed", "1"]) == 0
+        assert "all invariants hold" in capsys.readouterr().out
