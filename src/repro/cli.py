@@ -529,17 +529,132 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_serve_cache(args: argparse.Namespace):
+    shards = getattr(args, "shards", 1) or 1
+    if shards > 1:
+        from repro.obs import DEFAULT_REGISTRY
+        from repro.serve.cache import default_cache_dir
+        from repro.serve.net.shards import ShardedResultCache
+
+        cache_dir = (None if getattr(args, "no_cache", False)
+                     else (args.cache_dir or default_cache_dir()))
+        return ShardedResultCache(cache_dir=cache_dir, shards=shards,
+                                  registry=DEFAULT_REGISTRY)
+    return _build_cache(args)
+
+
+def _build_governor(args: argparse.Namespace):
+    """None unless a quota flag was given (quotas are opt-in)."""
+    if not args.quota and not args.default_quota:
+        return None
+    from repro.serve.net.tenancy import TenantGovernor, TenantQuota
+
+    quotas = {}
+    for spec in args.quota or []:
+        tenant, sep, policy = spec.partition("=")
+        if not sep or not tenant:
+            raise ValueError(f"bad --quota {spec!r}: "
+                             f"expected TENANT=RATE[:BURST]")
+        quotas[tenant] = TenantQuota.parse(policy)
+    default = (TenantQuota.parse(args.default_quota)
+               if args.default_quota else None)
+    return TenantGovernor(quotas=quotas, default=default)
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.obs import DEFAULT_REGISTRY
     from repro.serve.batch import BatchRunner
+    from repro.serve.dispatch import Dispatcher
     from repro.serve.service import serve_forever
 
-    runner = BatchRunner(cache=_build_cache(args), jobs=args.jobs,
+    try:
+        governor = _build_governor(args)
+    except ValueError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 1
+    request_log = None
+    if args.request_log:
+        from repro.serve.net.reqlog import RequestLog
+
+        try:
+            request_log = RequestLog(args.request_log)
+        except OSError as exc:
+            print(f"serve: cannot open request log "
+                  f"{args.request_log}: {exc}", file=sys.stderr)
+            return 1
+    runner = BatchRunner(cache=_build_serve_cache(args), jobs=args.jobs,
                          registry=DEFAULT_REGISTRY,
                          deadline_s=args.deadline)
-    return serve_forever(runner=runner, max_pending=args.max_pending,
+    session = Dispatcher(runner=runner, max_pending=args.max_pending,
                          full_results=args.full,
-                         registry=DEFAULT_REGISTRY, shed=args.shed)
+                         registry=DEFAULT_REGISTRY, shed=args.shed,
+                         governor=governor, request_log=request_log)
+    try:
+        if args.listen:
+            import asyncio
+
+            from repro.serve.net.server import serve_net
+
+            host, _, port_s = args.listen.rpartition(":")
+            host = host or "127.0.0.1"
+            try:
+                port = int(port_s)
+            except ValueError:
+                print(f"serve: bad --listen {args.listen!r}: "
+                      f"expected HOST:PORT", file=sys.stderr)
+                return 1
+
+            def _ready(bound):
+                print(f"listening on {bound[0]}:{bound[1]}",
+                      file=sys.stderr, flush=True)
+
+            return asyncio.run(serve_net(
+                session, host=host, port=port,
+                drr_quantum=args.drr_quantum, ready=_ready))
+        return serve_forever(session=session, handle_signals=True)
+    finally:
+        if request_log is not None:
+            request_log.close()
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    from repro.serve.batch import BatchRunner
+    from repro.serve.cache import ResultCache
+    from repro.serve.dispatch import Dispatcher
+    from repro.serve.net.reqlog import replay_log
+
+    # A fresh, memory-only cache: replay must not be contaminated by —
+    # or pollute — the persistent store (origins are excluded from the
+    # comparison, so cold-vs-warm is immaterial).
+    cache = ResultCache(cache_dir=None, mem_entries=256)
+    runner = BatchRunner(cache=cache, jobs=args.jobs,
+                         deadline_s=args.deadline)
+    session = Dispatcher(runner=runner, max_pending=args.max_pending,
+                         full_results=args.full, shed=args.shed)
+    try:
+        report = replay_log(args.log_file, session)
+    except OSError as exc:
+        print(f"replay: cannot read {args.log_file}: {exc}",
+              file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"replay: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(f"replayed {report.records} record(s): "
+              f"{report.compared} compared, {report.skipped} "
+              f"operational, {len(report.mismatches)} mismatch(es)")
+        for mm in report.mismatches[:10]:
+            print(f"  seq {mm.seq} ({mm.op}):")
+            print(f"    logged:   {mm.expected}")
+            print(f"    replayed: {mm.got}")
+    if not report.ok:
+        print("replay: deterministic replies diverged from the log",
+              file=sys.stderr)
+        return 2
+    return 0
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
@@ -742,7 +857,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.set_defaults(func=cmd_batch)
 
     p_serve = sub.add_parser(
-        "serve", help="JSON-lines simulation service on stdin/stdout")
+        "serve", help="simulation service: JSON-lines on stdin/stdout, "
+                      "or TCP + HTTP with --listen")
     p_serve.add_argument("--jobs", type=int, default=1,
                          help="worker processes (default 1)")
     p_serve.add_argument("--cache-dir", default=None,
@@ -762,7 +878,56 @@ def build_parser() -> argparse.ArgumentParser:
                          help="past --max-pending: refuse the whole batch "
                               "(default) or shed the oldest jobs and run "
                               "the rest")
+    p_serve.add_argument("--listen", default=None, metavar="HOST:PORT",
+                         help="serve over TCP (JSON-lines + HTTP/1.1: "
+                              "POST /v1/run, POST /v1/batch, GET /metrics, "
+                              "GET /healthz) instead of stdio; port 0 "
+                              "picks a free port, printed to stderr")
+    p_serve.add_argument("--shards", type=int, default=1,
+                         help="split the result cache into N rendezvous-"
+                              "hashed partitions, each with its own LRU, "
+                              "disk dir, and circuit breaker (default 1)")
+    p_serve.add_argument("--request-log", default=None, metavar="PATH",
+                         help="append every request/reply to this JSONL "
+                              "journal (replayable with 'repro replay')")
+    p_serve.add_argument("--quota", action="append", default=None,
+                         metavar="TENANT=RATE[:BURST]",
+                         help="token-bucket quota for one tenant, in "
+                              "jobs/second (repeatable); burst defaults "
+                              "to 4x rate")
+    p_serve.add_argument("--default-quota", default=None,
+                         metavar="RATE[:BURST]",
+                         help="quota for tenants not named by --quota "
+                              "(quotas are enforced only when a quota "
+                              "flag is given)")
+    p_serve.add_argument("--drr-quantum", type=float, default=8.0,
+                         help="deficit-round-robin quantum in jobs per "
+                              "scheduling round (default 8)")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_replay = sub.add_parser(
+        "replay", help="re-drive a serve request log and assert "
+                       "byte-identical replies for deterministic ops")
+    p_replay.add_argument("log_file",
+                          help="request log written by serve --request-log")
+    p_replay.add_argument("--jobs", type=int, default=1,
+                          help="worker processes for the replay "
+                               "(default 1)")
+    p_replay.add_argument("--max-pending", type=int, default=256,
+                          help="must match the original service "
+                               "(default 256)")
+    p_replay.add_argument("--shed", choices=("refuse", "oldest"),
+                          default="refuse",
+                          help="must match the original service")
+    p_replay.add_argument("--full", action="store_true",
+                          help="must match the original service's --full")
+    p_replay.add_argument("--deadline", type=float, default=None,
+                          metavar="SECONDS",
+                          help="per-job wall-clock deadline for replayed "
+                               "jobs")
+    p_replay.add_argument("--json", action="store_true",
+                          help="emit the machine-readable replay report")
+    p_replay.set_defaults(func=cmd_replay)
 
     p_chaos = sub.add_parser(
         "chaos", help="seeded chaos campaign against the serve stack")

@@ -27,6 +27,13 @@ from repro.serve.chaos import (
     run_chaos_campaign,
     synthetic_jobs,
 )
+from repro.serve.dispatch import (
+    DEFAULT_TENANT,
+    DETERMINISTIC_OPS,
+    Dispatcher,
+    LineAssembler,
+    SloTracker,
+)
 from repro.serve.identity import (
     CACHE_SCHEMA_VERSION,
     canonical_json,
@@ -92,6 +99,11 @@ __all__ = [
     "random_chaos_specs",
     "run_chaos_campaign",
     "synthetic_jobs",
+    "DEFAULT_TENANT",
+    "DETERMINISTIC_OPS",
+    "Dispatcher",
+    "LineAssembler",
+    "SloTracker",
     "CACHE_SCHEMA_VERSION",
     "canonical_json",
     "config_fingerprint",

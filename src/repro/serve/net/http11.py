@@ -1,0 +1,160 @@
+"""Minimal HTTP/1.1 framing for the network serving tier.
+
+Just enough of the protocol for the four endpoints the tier exposes
+(``POST /v1/run``, ``POST /v1/batch``, ``GET /metrics``,
+``GET /healthz``): request-line + headers + ``Content-Length`` bodies,
+keep-alive by default, no chunked encoding, no TLS.  Hand-rolled on
+purpose — the container policy is stdlib-only, and a parser this small
+is easier to audit than a vendored framework.
+
+The parser is incremental (feed bytes, collect complete requests) so it
+shares the transport loop shape with the JSON-lines
+:class:`~repro.serve.dispatch.LineAssembler`; hard bounds on header and
+body size keep the hostile-client cost model of the stdio path: one bad
+request costs one error response, never unbounded memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Request line + headers must fit in this many bytes.
+MAX_HEADER_BYTES = 16 * 1024
+
+#: Default bound on request bodies (aligned with the JSON-lines
+#: ``max_line_bytes`` default).
+MAX_BODY_BYTES = 1 << 20
+
+#: Methods that may start a request we serve (used for sniffing too).
+METHODS = ("GET", "POST", "HEAD", "PUT", "DELETE", "OPTIONS", "PATCH")
+
+REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 431: "Request Header Fields Too Large",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+
+def sniff_http(prefix: bytes) -> bool:
+    """Does this connection's first bytes look like an HTTP request?
+
+    The JSON-lines protocol always starts a connection with ``{`` (or
+    whitespace); HTTP starts with a method token.  Undecided prefixes
+    (too short) return False only when they could still be JSON-lines.
+    """
+    text = prefix[:8].decode("ascii", "replace")
+    return any(text.startswith(m + " ") or (m.startswith(text) and text)
+               for m in METHODS)
+
+
+@dataclass
+class HttpRequest:
+    method: str
+    target: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+
+class HttpError(Exception):
+    """A malformed or over-limit request; carries the response status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class HttpParser:
+    """Incremental request parser for one connection."""
+
+    def __init__(self, max_body_bytes: int = MAX_BODY_BYTES) -> None:
+        self.max_body_bytes = max_body_bytes
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> list[HttpRequest]:
+        """Consume a chunk; return the requests it completed.
+
+        Raises :class:`HttpError` on malformed/oversized input — the
+        connection should answer with that status and close.
+        """
+        self._buf += data
+        out: list[HttpRequest] = []
+        while True:
+            request = self._try_parse()
+            if request is None:
+                return out
+            out.append(request)
+
+    def _try_parse(self) -> HttpRequest | None:
+        cut = self._buf.find(b"\r\n\r\n")
+        if cut < 0:
+            if len(self._buf) > MAX_HEADER_BYTES:
+                raise HttpError(431, "request headers too large")
+            return None
+        head = bytes(self._buf[:cut]).decode("latin-1")
+        lines = head.split("\r\n")
+        parts = lines[0].split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise HttpError(400, f"malformed request line {lines[0]!r}")
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            name, sep, value = line.partition(":")
+            if not sep or not name.strip():
+                raise HttpError(400, f"malformed header line {line!r}")
+            headers[name.strip().lower()] = value.strip()
+        if "chunked" in headers.get("transfer-encoding", "").lower():
+            raise HttpError(400, "chunked bodies not supported")
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise HttpError(400, "bad Content-Length") from None
+        if length < 0:
+            raise HttpError(400, "bad Content-Length")
+        if length > self.max_body_bytes:
+            raise HttpError(413, f"body of {length} bytes exceeds "
+                                 f"limit {self.max_body_bytes}")
+        body_start = cut + 4
+        if len(self._buf) - body_start < length:
+            return None   # body still streaming in
+        body = bytes(self._buf[body_start:body_start + length])
+        del self._buf[:body_start + length]
+        return HttpRequest(method=method, target=target,
+                           headers=headers, body=body)
+
+
+def render_response(status: int, body: bytes | str,
+                    content_type: str = "application/json",
+                    keep_alive: bool = True,
+                    extra_headers: dict[str, str] | None = None) -> bytes:
+    """Serialize one HTTP/1.1 response."""
+    payload = body.encode("utf-8") if isinstance(body, str) else body
+    lines = [
+        f"HTTP/1.1 {status} {REASONS.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(payload)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = "\r\n".join(lines) + "\r\n\r\n"
+    return head.encode("latin-1") + payload
+
+
+__all__ = [
+    "HttpError",
+    "HttpParser",
+    "HttpRequest",
+    "MAX_BODY_BYTES",
+    "MAX_HEADER_BYTES",
+    "render_response",
+    "sniff_http",
+]

@@ -1,0 +1,169 @@
+"""Sharded result cache behind rendezvous (highest-random-weight) hashing.
+
+One :class:`~repro.serve.cache.ResultCache` is a single LRU, a single
+disk directory, and a single circuit breaker — one I/O storm degrades
+*all* cached traffic.  :class:`ShardedResultCache` splits the keyspace
+across N independent partitions so that:
+
+* each shard owns its own LRU slice, disk subdirectory
+  (``<cache_dir>/shard-00/`` ...) and circuit breaker — a corruption
+  storm on one directory trips one breaker and leaves the other
+  ``N - 1`` shards serving normally;
+* placement is **rendezvous hashing** (highest random weight): key
+  ``k`` lives on ``argmax_i sha256(i + "|" + k)``.  Unlike modulo
+  placement, changing the shard count only moves the keys whose argmax
+  changed (~``1/N`` of them) — and for a fixed count it is a pure,
+  stable function of the key, so the same job always lands on the same
+  shard across restarts;
+* snapshots pass through untouched — the shard layer routes, it never
+  rewrites, so the bit-identity guarantee of the underlying cache
+  (checksummed RSNP envelopes) is preserved verbatim.
+
+The facade mirrors the single-cache surface (``lookup``/``get``/``put``
+/``stats``/``breaker``/``health``/``degraded``/``clear_memory``), so
+:class:`~repro.serve.batch.BatchRunner` cannot tell the difference;
+``shard_breakdown()`` adds the per-shard view for the ``stats`` op.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pathlib
+
+from repro.serve.cache import CacheStats, ResultCache
+from repro.serve.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+)
+
+#: Aggregated counter fields summed across shards.
+_STAT_FIELDS = ("mem_hits", "disk_hits", "misses", "stores", "evictions",
+                "corrupt_entries", "disk_errors", "disk_skips")
+
+# Severity order for the aggregate breaker verdict: any open shard
+# makes the facade "open" (some keyspace is degraded).
+_STATE_RANK = {BREAKER_CLOSED: 0, BREAKER_HALF_OPEN: 1, BREAKER_OPEN: 2}
+
+
+def rendezvous_shard(key: str, shards: int) -> int:
+    """Highest-random-weight owner of ``key`` among ``shards`` buckets."""
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    if shards == 1:
+        return 0
+    best, best_weight = 0, b""
+    for i in range(shards):
+        weight = hashlib.sha256(f"{i}|{key}".encode()).digest()
+        if weight > best_weight:
+            best, best_weight = i, weight
+    return best
+
+
+class _BreakerFacade:
+    """Read-only aggregate view over the per-shard circuit breakers."""
+
+    def __init__(self, shards: list[ResultCache]) -> None:
+        self._shards = shards
+
+    @property
+    def state(self) -> str:
+        return max((s.breaker.state for s in self._shards),
+                   key=_STATE_RANK.__getitem__)
+
+    def to_json(self) -> dict:
+        return {
+            "state": self.state,
+            "opens": sum(s.breaker.opens for s in self._shards),
+            "consecutive_failures": sum(
+                s.breaker.to_json()["consecutive_failures"]
+                for s in self._shards),
+            "shards": [s.breaker.state for s in self._shards],
+        }
+
+
+class ShardedResultCache:
+    """N independent :class:`ResultCache` partitions, one facade.
+
+    Construction mirrors ``ResultCache``: ``cache_dir=None`` keeps all
+    shards memory-only; otherwise shard ``i`` stores under
+    ``<cache_dir>/shard-0i/``.  ``mem_entries`` is the *total* memory
+    budget, split evenly.  Each shard's breaker is named
+    ``cache_disk_s00`` ... so their metrics stay distinguishable.
+    """
+
+    def __init__(self, cache_dir: pathlib.Path | str | None = None,
+                 shards: int = 4, mem_entries: int = 256,
+                 registry=None, chaos=None) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.num_shards = shards
+        self.cache_dir = (pathlib.Path(cache_dir)
+                          if cache_dir is not None else None)
+        per_shard = max(1, mem_entries // shards)
+        self.shards: list[ResultCache] = []
+        for i in range(shards):
+            shard_dir = (self.cache_dir / f"shard-{i:02d}"
+                         if self.cache_dir is not None else None)
+            self.shards.append(ResultCache(
+                cache_dir=shard_dir, mem_entries=per_shard,
+                registry=registry,
+                breaker=CircuitBreaker(name=f"cache_disk_s{i:02d}"),
+                chaos=chaos))
+        self.breaker = _BreakerFacade(self.shards)
+
+    def shard_of(self, key: str) -> int:
+        """The rendezvous owner of ``key`` (stable across restarts)."""
+        return rendezvous_shard(key, self.num_shards)
+
+    # -- ResultCache surface --------------------------------------------------
+
+    def lookup(self, key: str):
+        return self.shards[self.shard_of(key)].lookup(key)
+
+    def get(self, key: str):
+        return self.lookup(key)[0]
+
+    def put(self, key: str, snap) -> None:
+        self.shards[self.shard_of(key)].put(key, snap)
+
+    @property
+    def stats(self) -> CacheStats:
+        """A fresh aggregate of the per-shard counters."""
+        total = CacheStats()
+        for shard in self.shards:
+            for field in _STAT_FIELDS:
+                setattr(total, field,
+                        getattr(total, field)
+                        + getattr(shard.stats, field))
+        return total
+
+    @property
+    def degraded(self) -> bool:
+        return any(s.degraded for s in self.shards)
+
+    def health(self) -> dict:
+        return {"disk_tier": self.cache_dir is not None,
+                "degraded": self.degraded,
+                "breaker": self.breaker.to_json(),
+                "stats": self.stats.to_json(),
+                "shards": self.num_shards}
+
+    def shard_breakdown(self) -> list[dict]:
+        """Per-shard stats + breaker state, for the ``stats`` op."""
+        return [{"shard": i,
+                 "entries": len(shard),
+                 "breaker": shard.breaker.state,
+                 "stats": shard.stats.to_json()}
+                for i, shard in enumerate(self.shards)]
+
+    def clear_memory(self) -> None:
+        for shard in self.shards:
+            shard.clear_memory()
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+
+__all__ = ["ShardedResultCache", "rendezvous_shard"]

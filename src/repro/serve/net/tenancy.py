@@ -1,0 +1,238 @@
+"""Tenant admission control: token-bucket quotas + deficit round robin.
+
+Two independent mechanisms, layered under one name:
+
+* **Rate limiting** (:class:`TokenBucket` / :class:`TenantGovernor`) —
+  *should this tenant's request be admitted at all?*  Each tenant gets a
+  token bucket (``rate`` jobs/second, ``burst`` capacity); a request
+  costing more tokens than the bucket holds is refused with an honest
+  ``retry_after_s``.  This bounds each tenant's long-run offered load.
+
+* **Fair scheduling** (:class:`DeficitRoundRobin`) — *of the admitted
+  requests, whose runs next?*  Classic deficit round robin (Shreedhar &
+  Varghese, SIGCOMM '95): each backlogged tenant holds a deficit
+  counter, each scheduler round adds one quantum, and a tenant may
+  dispatch work while its deficit covers the next item's cost.  Over
+  any interval in which two tenants are both continuously backlogged,
+  their service difference is bounded by ``quantum + max_cost``
+  regardless of how skewed the offered load is — the no-starvation
+  guarantee the load benchmark asserts.
+
+Both are deterministic given their inputs; the clock is injectable so
+tests (and the replay harness) can drive them without real time.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+
+#: Tenants not named in any ``--quota`` flag get this policy.
+DEFAULT_RATE = 64.0
+DEFAULT_BURST = 256.0
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """One tenant's admission policy: ``rate`` jobs/s, ``burst`` cap."""
+
+    rate: float
+    burst: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"quota rate must be > 0, got {self.rate}")
+        if self.burst < 1:
+            raise ValueError(f"quota burst must be >= 1, got {self.burst}")
+
+    @classmethod
+    def parse(cls, text: str) -> "TenantQuota":
+        """Parse ``"RATE"`` or ``"RATE:BURST"`` (burst defaults to 4x)."""
+        rate_s, _, burst_s = text.partition(":")
+        try:
+            rate = float(rate_s)
+            burst = float(burst_s) if burst_s else 4 * rate
+        except ValueError as exc:
+            raise ValueError(f"bad quota {text!r}: expected "
+                             f"RATE or RATE:BURST") from exc
+        return cls(rate=rate, burst=burst)
+
+    def to_json(self) -> dict:
+        return {"rate": self.rate, "burst": self.burst}
+
+
+class TokenBucket:
+    """Continuous-refill token bucket (starts full).
+
+    ``take(cost)`` returns 0.0 when admitted, else the seconds until the
+    bucket will have refilled enough for this cost — callers surface it
+    as ``retry_after_s`` so well-behaved clients can pace themselves
+    instead of hammering.
+    """
+
+    def __init__(self, quota: TenantQuota, clock=time.monotonic) -> None:
+        self.quota = quota
+        self._clock = clock
+        self._tokens = quota.burst
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(self.quota.burst,
+                           self._tokens
+                           + (now - self._stamp) * self.quota.rate)
+        self._stamp = now
+
+    def take(self, cost: float = 1.0) -> float:
+        """Admit (0.0) or refuse with the wait, in seconds, to retry."""
+        self._refill()
+        if cost <= self._tokens:
+            self._tokens -= cost
+            return 0.0
+        # A cost beyond burst can never be admitted; quote the full
+        # refill time so the client learns to split the request.
+        shortfall = min(cost, self.quota.burst) - self._tokens
+        return max(shortfall / self.quota.rate, 1e-9)
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+
+class TenantGovernor:
+    """Per-tenant bucket book keyed by tenant name.
+
+    Tenants are materialized on first sight with either their named
+    quota (from ``quotas``) or the default.  The governor is what the
+    :class:`~repro.serve.dispatch.Dispatcher` consults before running
+    jobs: ``admit(tenant, jobs)`` charges one token per job.
+    """
+
+    def __init__(self, quotas: dict[str, TenantQuota] | None = None,
+                 default: TenantQuota | None = None,
+                 clock=time.monotonic) -> None:
+        self.quotas = dict(quotas or {})
+        self.default = default or TenantQuota(rate=DEFAULT_RATE,
+                                              burst=DEFAULT_BURST)
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+
+    def bucket(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            quota = self.quotas.get(tenant, self.default)
+            bucket = TokenBucket(quota, clock=self._clock)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def admit(self, tenant: str, jobs: int = 1) -> float:
+        """0.0 to admit, else seconds until this request could pass."""
+        return self.bucket(tenant).take(float(max(1, jobs)))
+
+    def to_json(self) -> dict:
+        """Quota policy + live bucket levels, for the health op."""
+        return {
+            "default": self.default.to_json(),
+            "named": {t: q.to_json()
+                      for t, q in sorted(self.quotas.items())},
+            "tenants": {t: {"tokens": round(b.tokens, 3),
+                            **b.quota.to_json()}
+                        for t, b in sorted(self._buckets.items())},
+        }
+
+
+class DeficitRoundRobin:
+    """Deficit-round-robin queue over per-tenant FIFOs.
+
+    Items are opaque; each is enqueued with a ``cost`` (jobs carried).
+    ``take()`` pops the next item the scheduler would serve, honouring
+    the DRR invariant: a tenant may only dispatch while its accumulated
+    deficit covers the head item's cost, and every full scan of the
+    active list adds exactly one ``quantum`` per backlogged tenant.
+
+    Single-consumer by design — the serving tier funnels all dispatch
+    through one executor thread, so no internal locking is needed
+    beyond the event loop's own serialization of ``push``/``take``.
+    """
+
+    def __init__(self, quantum: float = 8.0) -> None:
+        if quantum <= 0:
+            raise ValueError(f"quantum must be > 0, got {quantum}")
+        self.quantum = quantum
+        # Insertion-ordered active tenants -> FIFO of (item, cost).
+        self._queues: "OrderedDict[str, deque]" = OrderedDict()
+        self._deficit: dict[str, float] = {}
+        self._served: dict[str, float] = {}
+        self._pending = 0
+        # Tenant currently mid-burst at the head of the list: it has
+        # already received this round's quantum and serves until its
+        # deficit no longer covers the next item.
+        self._burst: str | None = None
+
+    def __len__(self) -> int:
+        return self._pending
+
+    def push(self, tenant: str, item, cost: float = 1.0) -> None:
+        """Enqueue ``item`` for ``tenant`` (cost = jobs it carries)."""
+        queue = self._queues.get(tenant)
+        if queue is None:
+            queue = deque()
+            self._queues[tenant] = queue
+            self._deficit.setdefault(tenant, 0.0)
+        queue.append((item, max(1.0, float(cost))))
+        self._pending += 1
+
+    def take(self):
+        """Pop ``(tenant, item)`` per DRR order, or None when empty."""
+        if not self._pending:
+            return None
+        # Terminates: every fresh visit adds quantum > 0, so some head
+        # item's cost is eventually covered.
+        while True:
+            tenant, queue = next(iter(self._queues.items()))
+            if tenant != self._burst:
+                # Fresh visit: grant exactly one quantum per round,
+                # whether or not leftover deficit already covers the
+                # head — that per-visit grant is what bounds the
+                # service gap between backlogged tenants.
+                self._deficit[tenant] += self.quantum
+                self._burst = tenant
+            item, cost = queue[0]
+            if self._deficit[tenant] >= cost:
+                queue.popleft()
+                self._pending -= 1
+                self._deficit[tenant] -= cost
+                self._served[tenant] = self._served.get(tenant, 0.0) + cost
+                if not queue:
+                    # An idle tenant keeps no credit — otherwise a
+                    # sleeper could bank an unbounded burst.
+                    del self._queues[tenant]
+                    self._deficit[tenant] = 0.0
+                    self._burst = None
+                elif self._deficit[tenant] < queue[0][1]:
+                    # Grant spent relative to the next item: rotate.
+                    self._queues.move_to_end(tenant)
+                    self._burst = None
+                return tenant, item
+            self._queues.move_to_end(tenant)
+            self._burst = None
+
+    def served(self, tenant: str) -> float:
+        """Total cost served for ``tenant`` over this queue's life."""
+        return self._served.get(tenant, 0.0)
+
+    def backlog(self) -> dict[str, int]:
+        """Queued item count per active tenant (for stats/health)."""
+        return {t: len(q) for t, q in self._queues.items()}
+
+
+__all__ = [
+    "DEFAULT_BURST",
+    "DEFAULT_RATE",
+    "DeficitRoundRobin",
+    "TenantGovernor",
+    "TenantQuota",
+    "TokenBucket",
+]

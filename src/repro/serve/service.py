@@ -11,18 +11,24 @@ Operations::
     {"op": "run",   "id": 1, "job": {...}}            -> one result
     {"op": "batch", "id": 2, "jobs": [{...}, ...]}    -> ordered results
     {"op": "stats", "id": 3}                          -> cache counters +
-                                                         metrics snapshot
+                                                         metrics + SLO
     {"op": "health", "id": 4}                         -> breaker / pool /
                                                          quarantine state
     {"op": "shutdown"}                                -> reply, then exit
 
 The ``stats`` reply's ``metrics`` section is the full
 :class:`~repro.obs.MetricsRegistry` snapshot for this process, covering
-the cache, pool, batch, and per-op request counters in one place.  The
-``health`` reply is the resilience surface: circuit-breaker state, the
-poison-job quarantine book, and shed counters — ``"status"`` is
-``"degraded"`` whenever any of them is off nominal, so a supervisor can
-alert on one field.
+the cache, pool, batch, and per-op request counters in one place; its
+``slo`` section digests recent request latencies (p50/p99) and the warm
+hit rate.  The ``health`` reply is the resilience surface: circuit-
+breaker state, the poison-job quarantine book, and shed counters —
+``"status"`` is ``"degraded"`` whenever any of them is off nominal, so a
+supervisor can alert on one field.
+
+The protocol engine itself lives in :mod:`repro.serve.dispatch` — this
+module is only the stdio transport.  The asyncio network front end
+(:mod:`repro.serve.net`) drives the *same* :class:`Dispatcher`, so every
+hardening behaviour documented here holds byte-identically over TCP.
 
 Scale behaviour:
 
@@ -37,196 +43,115 @@ Scale behaviour:
 * **fault isolation** — per-job failures (assembly errors, simulator
   faults, timeouts, deadlines, quarantines) are reported in the reply
   for that job; malformed JSON, oversized lines, and even internal
-  dispatch bugs yield per-line error replies — only EOF or ``shutdown``
-  stops the loop.
+  dispatch bugs yield per-line error replies — only EOF, ``shutdown``,
+  or (with ``handle_signals=True``) SIGINT/SIGTERM stops the loop, and
+  signals drain gracefully: buffered lines are answered and the request
+  log is flushed before exit.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import select
+import signal
 import sys
 
 from repro.serve.batch import BatchRunner
-from repro.serve.cache import ResultCache
-from repro.serve.jobs import JobError, jobs_from_json
+from repro.serve.dispatch import (
+    DEFAULT_MAX_LINE_BYTES,
+    DEFAULT_MAX_PENDING,
+    SHED_OLDEST,
+    SHED_POLICIES,
+    SHED_REFUSE,
+    Dispatcher,
+    LineAssembler,
+)
 
-#: Refuse batches larger than this many jobs (queue bound).
-DEFAULT_MAX_PENDING = 256
-
-#: Refuse request lines longer than this many characters: a malformed
-#: client (or a binary stream pointed at the socket) must cost one error
-#: reply, not an unbounded json.loads.
-DEFAULT_MAX_LINE_BYTES = 1 << 20
-
-# Load-shedding policies past ``max_pending``.
-SHED_REFUSE = "refuse"
-SHED_OLDEST = "oldest"
-SHED_POLICIES = (SHED_REFUSE, SHED_OLDEST)
+__all__ = ["DEFAULT_MAX_LINE_BYTES", "DEFAULT_MAX_PENDING", "SHED_OLDEST",
+           "SHED_POLICIES", "SHED_REFUSE", "ServeSession", "serve_forever"]
 
 
-def _job_name(obj) -> str:
-    """Best-effort display name for a job object we will not run."""
-    if isinstance(obj, dict):
-        name = (obj.get("name") or obj.get("kernel") or obj.get("file")
-                or "inline")
-        return str(name)
-    return "?"
+class ServeSession(Dispatcher):
+    """Back-compat name for the transport-agnostic :class:`Dispatcher`.
+
+    Historically the protocol engine and the stdio loop lived together;
+    the engine moved to :mod:`repro.serve.dispatch` when the network
+    tier arrived.  Existing imports and subclasses keep working.
+    """
 
 
-class ServeSession:
-    """Protocol state for one service process (testable without pipes)."""
+def _write_reply(stdout, reply: dict) -> None:
+    stdout.write(json.dumps(reply, sort_keys=True) + "\n")
+    stdout.flush()
 
-    def __init__(self, runner: BatchRunner | None = None,
-                 max_pending: int = DEFAULT_MAX_PENDING,
-                 full_results: bool = False, registry=None,
-                 shed: str = SHED_REFUSE,
-                 max_line_bytes: int = DEFAULT_MAX_LINE_BYTES) -> None:
-        if shed not in SHED_POLICIES:
-            raise ValueError(f"unknown shed policy {shed!r}; "
-                             f"choose from {', '.join(SHED_POLICIES)}")
-        if max_line_bytes < 1:
-            raise ValueError("max_line_bytes must be >= 1")
-        self.runner = runner or BatchRunner(ResultCache(),
-                                            registry=registry)
-        self.max_pending = max_pending
-        self.full_results = full_results
-        self.shed = shed
-        self.max_line_bytes = max_line_bytes
-        # One registry for the whole session: the runner's unless the
-        # caller wired an explicit (e.g. process-wide) one through.
-        self.registry = (registry if registry is not None
-                         else self.runner.registry)
-        self._requests = self.registry.counter(
-            "serve_requests_total", "service requests received, by op",
-            labels=("op",))
-        self._line_errors = self.registry.counter(
-            "serve_line_errors_total",
-            "request lines rejected before dispatch, by reason",
-            labels=("reason",))
-        self._shed = self.registry.counter(
-            "serve_shed_jobs_total", "jobs dropped by load shedding")
-        self.requests = 0
-        self.shed_jobs = 0
-        self.shutdown = False
 
-    # -- request handling -----------------------------------------------------
+def _pump_signal_aware(stdin, stdout, session: Dispatcher,
+                       stop_signals=(signal.SIGINT, signal.SIGTERM)) -> int:
+    """Line pump that drains gracefully on SIGINT/SIGTERM.
 
-    def handle_line(self, line: str) -> dict | None:
-        """One request line -> one reply dict (None for blank lines).
+    A blocking ``for line in stdin`` cannot observe a signal flag until
+    the *next* line arrives, so this path reads the underlying fd
+    through ``select`` with a short poll interval and frames lines with
+    the shared :class:`LineAssembler`.  On a stop signal it answers
+    every fully-buffered line, flushes the request log, and exits 0 —
+    no accepted request is left unanswered.
+    """
+    stopping = False
 
-        Never raises: malformed JSON, oversized lines, non-object
-        payloads, and internal dispatch failures all become error
-        replies, so one bad client line can never kill the service.
-        """
-        if len(line) > self.max_line_bytes:
-            self.requests += 1
-            self._line_errors.inc(reason="oversized")
-            return {"ok": False,
-                    "error": f"line too long ({len(line)} > "
-                             f"{self.max_line_bytes} bytes)"}
-        line = line.strip()
-        if not line:
-            return None
-        self.requests += 1
-        try:
-            request = json.loads(line)
-        except json.JSONDecodeError as exc:
-            self._line_errors.inc(reason="bad_json")
-            return {"ok": False, "error": f"bad JSON: {exc.msg}"}
-        if not isinstance(request, dict):
-            self._line_errors.inc(reason="not_object")
-            return {"ok": False, "error": "request must be a JSON object"}
-        try:
-            reply = self._dispatch(request)
-        except Exception as exc:   # hardening: dispatch must not crash
-            self._line_errors.inc(reason="internal")
-            reply = {"ok": False,
-                     "error": f"internal error: "
-                              f"{type(exc).__name__}: {exc}"}
-        if "id" in request:
-            reply["id"] = request["id"]
-        return reply
+    def _on_signal(signum, frame) -> None:
+        nonlocal stopping
+        stopping = True
 
-    def _dispatch(self, request: dict) -> dict:
-        op = request.get("op")
-        known = op in ("ping", "stats", "health", "shutdown", "run", "batch")
-        self._requests.inc(op=op if known else "unknown")
-        if op == "ping":
-            return {"ok": True, "pong": True}
-        if op == "stats":
-            return {"ok": True, "requests": self.requests,
-                    "cache": self.runner.cache.stats.to_json(),
-                    "metrics": self.registry.snapshot()}
-        if op == "health":
-            return {"ok": True, "health": self.health()}
-        if op == "shutdown":
-            self.shutdown = True
-            return {"ok": True, "shutdown": True}
-        if op == "run":
-            return self._run_jobs([request.get("job")], single=True)
-        if op == "batch":
-            jobs = request.get("jobs")
-            if not isinstance(jobs, list):
-                return {"ok": False, "error": "'jobs' must be a list"}
-            return self._run_jobs(jobs, single=False)
-        return {"ok": False, "error": f"unknown op {op!r}"}
-
-    def health(self) -> dict:
-        """The resilience surface: breaker, quarantine, shed, pool."""
-        cache_health = self.runner.cache.health()
-        quarantine = self.runner.quarantine.to_json()
-        degraded = (cache_health["degraded"]
-                    or bool(quarantine["quarantined"]))
-        return {
-            "status": "degraded" if degraded else "ok",
-            "requests": self.requests,
-            "shed_jobs": self.shed_jobs,
-            "shed_policy": self.shed,
-            "max_pending": self.max_pending,
-            "pool_jobs": self.runner.jobs,
-            "deadline_s": self.runner.deadline_s,
-            "cache": cache_health,
-            "quarantine": quarantine,
-        }
-
-    def _run_jobs(self, raw_jobs: list, single: bool) -> dict:
-        shed_replies: list[dict] = []
-        if len(raw_jobs) > self.max_pending:
-            if single or self.shed == SHED_REFUSE:
-                return {"ok": False, "error": "overloaded",
-                        "max_pending": self.max_pending,
-                        "requested": len(raw_jobs)}
-            # Shed-oldest: the front of the list is the oldest work;
-            # drop it explicitly (per-job "shed" entries) and run the
-            # newest ``max_pending`` jobs.
-            cut = len(raw_jobs) - self.max_pending
-            for obj in raw_jobs[:cut]:
-                shed_replies.append(
-                    {"name": _job_name(obj), "status": "shed",
-                     "error": f"load shed: batch of {len(raw_jobs)} "
-                              f"exceeded max_pending="
-                              f"{self.max_pending}"})
-            raw_jobs = raw_jobs[cut:]
-            self.shed_jobs += cut
-            self._shed.inc(cut)
-        try:
-            jobs = jobs_from_json(list(raw_jobs))
-        except JobError as exc:
-            return {"ok": False, "error": str(exc)}
-        try:
-            report = self.runner.run(jobs)
-        except JobError as exc:
-            return {"ok": False, "error": str(exc)}
-        payload = report.to_json(full=self.full_results)
-        if single:
-            result = payload["results"][0]
-            origin = report.results[0].origin
-            return {"ok": report.ok, "origin": origin, **result}
-        origins = (["shed"] * len(shed_replies)
-                   + [r.origin for r in report.results])
-        payload["results"] = shed_replies + payload["results"]
-        ok = report.ok and not shed_replies
-        return {"ok": ok, "origins": origins, **payload}
+    previous = {s: signal.signal(s, _on_signal) for s in stop_signals}
+    fd = stdin.fileno()
+    assembler = LineAssembler(session.max_line_bytes)
+    try:
+        eof = False
+        while not eof and not stopping and not session.shutdown:
+            try:
+                ready, _, _ = select.select([fd], [], [], 0.1)
+            except InterruptedError:
+                continue
+            if not ready:
+                continue
+            data = os.read(fd, 1 << 16)
+            if not data:
+                eof = True
+                lines = assembler.finish()
+            else:
+                lines = assembler.feed(data)
+            for text, length in lines:
+                reply = (session.oversized_reply(length) if text is None
+                         else session.handle_line(text))
+                if reply is not None:
+                    _write_reply(stdout, reply)
+                if session.shutdown:
+                    break
+        if stopping and not eof and not session.shutdown:
+            # Drain: slurp whatever the client already wrote without
+            # blocking and answer every *complete* line.  An
+            # unterminated tail is a request still being written — it
+            # gets no reply (unlike EOF, where the writer is gone and
+            # the tail is final).
+            while True:
+                ready, _, _ = select.select([fd], [], [], 0)
+                if not ready:
+                    break
+                data = os.read(fd, 1 << 16)
+                if not data:
+                    break
+                for text, length in assembler.feed(data):
+                    reply = (session.oversized_reply(length)
+                             if text is None
+                             else session.handle_line(text))
+                    if reply is not None:
+                        _write_reply(stdout, reply)
+        session.drain()
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    return 0
 
 
 def serve_forever(stdin=None, stdout=None,
@@ -234,27 +159,39 @@ def serve_forever(stdin=None, stdout=None,
                   max_pending: int = DEFAULT_MAX_PENDING,
                   full_results: bool = False, registry=None,
                   shed: str = SHED_REFUSE,
-                  max_line_bytes: int = DEFAULT_MAX_LINE_BYTES) -> int:
+                  max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
+                  session: Dispatcher | None = None,
+                  handle_signals: bool = False) -> int:
     """Pump the JSON-lines protocol until EOF or a shutdown request.
 
     A final line without a trailing newline (mid-line EOF) is handled
     like any other line: it gets a reply, then the loop ends at EOF.
+
+    With ``handle_signals=True`` (the CLI path) SIGINT/SIGTERM also end
+    the loop — gracefully: in-flight work completes, buffered lines are
+    answered, and the request log is flushed before exit.  Pass a
+    pre-built ``session`` to share a :class:`Dispatcher` (quotas,
+    request log, sharded cache) with other transports.
     """
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
-    session = ServeSession(runner=runner, max_pending=max_pending,
-                           full_results=full_results, registry=registry,
-                           shed=shed, max_line_bytes=max_line_bytes)
+    if session is None:
+        session = ServeSession(runner=runner, max_pending=max_pending,
+                               full_results=full_results, registry=registry,
+                               shed=shed, max_line_bytes=max_line_bytes)
+    if handle_signals and hasattr(stdin, "fileno"):
+        try:
+            stdin.fileno()
+        except (OSError, ValueError):
+            pass
+        else:
+            return _pump_signal_aware(stdin, stdout, session)
     for line in stdin:
         reply = session.handle_line(line)
         if reply is None:
             continue
-        stdout.write(json.dumps(reply, sort_keys=True) + "\n")
-        stdout.flush()
+        _write_reply(stdout, reply)
         if session.shutdown:
             break
+    session.drain()
     return 0
-
-
-__all__ = ["DEFAULT_MAX_LINE_BYTES", "DEFAULT_MAX_PENDING", "SHED_OLDEST",
-           "SHED_POLICIES", "SHED_REFUSE", "ServeSession", "serve_forever"]
