@@ -24,6 +24,10 @@ reproduces that argument symbolically, from the program text alone:
 * :mod:`repro.analysis.equiv` — symbolic-execution translation
   validation proving scheduler/compiler output equivalent to its input
   block by block (``repro verify``);
+* :mod:`repro.analysis.timing` — compositional static timing:
+  per-basic-block pipeline-state transfer summaries whose fold along a
+  dynamic block path reproduces the cycle-accurate core's cycle counts
+  exactly (the engine behind ``repro run --backend fast``);
 * :mod:`repro.analysis.lint` — the ``repro lint`` pass manager.
 """
 
@@ -69,6 +73,14 @@ from repro.analysis.lint import (
     LintReport,
     lint_program,
 )
+from repro.analysis.timing import (
+    BlockSummary,
+    InstrTiming,
+    TimingAnalysis,
+    TimingModel,
+    check_static_timing_bound,
+    check_unreachable_block,
+)
 
 __all__ = [
     "AbsintResult",
@@ -103,4 +115,10 @@ __all__ = [
     "Diagnostic",
     "LintReport",
     "lint_program",
+    "BlockSummary",
+    "InstrTiming",
+    "TimingAnalysis",
+    "TimingModel",
+    "check_static_timing_bound",
+    "check_unreachable_block",
 ]

@@ -73,6 +73,17 @@ Checks
     For acyclic single-thread programs, the proven worst-case cycle
     bound exceeds ``max_cycles``: the watchdog is guaranteed to kill
     the run before it can complete.
+``unreachable-block``
+    A block the plain CFG reaches but branch *feasibility* does not:
+    some branch condition is provably constant in the interval domain,
+    and every path to the block crosses such a branch's dead edge.
+    Complements ``unreachable-code`` (pure graph reachability).
+``static-timing-bound``
+    Exact steady-state timing for self-loop blocks: the loop's
+    per-iteration cycle count once the pipeline state reaches its
+    fixpoint, with per-bucket stall attribution
+    (:mod:`repro.analysis.timing`) — upgrading the info-level hazard
+    diagnostics with the cycle-exact cost the core would measure.
 
 Suppression
 -----------
@@ -113,6 +124,10 @@ from repro.analysis.hazards import (
     StallEstimate,
     estimate_stalls,
     hazard_edges,
+)
+from repro.analysis.timing import (
+    check_static_timing_bound,
+    check_unreachable_block,
 )
 from repro.asm.program import Program
 from repro.core.config import ProcessorConfig
@@ -428,6 +443,8 @@ ALL_CHECKS: dict[str, Callable[[AnalysisContext], list[Diagnostic]]] = {
     "width-overflow": check_width_overflow,
     "dead-search": check_dead_search,
     "static-cycle-bound": check_static_cycle_bound,
+    "unreachable-block": check_unreachable_block,
+    "static-timing-bound": check_static_timing_bound,
 }
 
 

@@ -1,10 +1,19 @@
-"""Associative computing layer: high-level ASC API + functional backend."""
+"""Associative computing layer: ASC API + functional and fast backends."""
 
 from repro.assoc.context import AscContext, AscError, FieldExpr, Responders
+from repro.assoc.fastpath import (
+    FastMachine,
+    FastPathError,
+    FastRunResult,
+    run_fast,
+)
 from repro.assoc.functional import (
+    BlockTraceRecorder,
+    FunctionalDeadlock,
     FunctionalError,
     FunctionalMachine,
     FunctionalResult,
+    FunctionalRunaway,
     run_functional,
 )
 
@@ -13,8 +22,15 @@ __all__ = [
     "AscError",
     "FieldExpr",
     "Responders",
+    "BlockTraceRecorder",
+    "FastMachine",
+    "FastPathError",
+    "FastRunResult",
+    "FunctionalDeadlock",
     "FunctionalError",
     "FunctionalMachine",
     "FunctionalResult",
+    "FunctionalRunaway",
+    "run_fast",
     "run_functional",
 ]

@@ -17,6 +17,7 @@ results — the integration tests do precisely that for every kernel in
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
@@ -80,29 +81,29 @@ class FieldExpr:
 
     # -- arithmetic (wrapping, like the PE ALU) --------------------------------
 
-    def _coerce(self, other) -> np.ndarray:
+    def _coerce(self, other: "FieldExpr | int") -> np.ndarray:
         if isinstance(other, FieldExpr):
             return other.values
         return np_to_unsigned(
             np.broadcast_to(np.int64(other), self.values.shape).copy(),
             self.ctx.width)
 
-    def __add__(self, other) -> "FieldExpr":
+    def __add__(self, other: "FieldExpr | int") -> "FieldExpr":
         return FieldExpr(self.ctx, self.values + self._coerce(other))
 
-    def __sub__(self, other) -> "FieldExpr":
+    def __sub__(self, other: "FieldExpr | int") -> "FieldExpr":
         return FieldExpr(self.ctx, self.values - self._coerce(other))
 
-    def __mul__(self, other) -> "FieldExpr":
+    def __mul__(self, other: "FieldExpr | int") -> "FieldExpr":
         return FieldExpr(self.ctx, self.values * self._coerce(other))
 
-    def __and__(self, other) -> "FieldExpr":
+    def __and__(self, other: "FieldExpr | int") -> "FieldExpr":
         return FieldExpr(self.ctx, self.values & self._coerce(other))
 
-    def __or__(self, other) -> "FieldExpr":
+    def __or__(self, other: "FieldExpr | int") -> "FieldExpr":
         return FieldExpr(self.ctx, self.values | self._coerce(other))
 
-    def __xor__(self, other) -> "FieldExpr":
+    def __xor__(self, other: "FieldExpr | int") -> "FieldExpr":
         return FieldExpr(self.ctx, self.values ^ self._coerce(other))
 
     # -- comparisons (signed, like pclt/pcle) -----------------------------------
@@ -110,25 +111,25 @@ class FieldExpr:
     def _signed(self) -> np.ndarray:
         return np_to_signed(self.values, self.ctx.width)
 
-    def _signed_other(self, other) -> np.ndarray:
+    def _signed_other(self, other: "FieldExpr | int") -> np.ndarray:
         return np_to_signed(self._coerce(other), self.ctx.width)
 
-    def __eq__(self, other) -> Responders:  # type: ignore[override]
+    def __eq__(self, other: "FieldExpr | int") -> Responders:  # type: ignore[override]
         return Responders(self.values == self._coerce(other))
 
-    def __ne__(self, other) -> Responders:  # type: ignore[override]
+    def __ne__(self, other: "FieldExpr | int") -> Responders:  # type: ignore[override]
         return Responders(self.values != self._coerce(other))
 
-    def __lt__(self, other) -> Responders:
+    def __lt__(self, other: "FieldExpr | int") -> Responders:
         return Responders(self._signed() < self._signed_other(other))
 
-    def __le__(self, other) -> Responders:
+    def __le__(self, other: "FieldExpr | int") -> Responders:
         return Responders(self._signed() <= self._signed_other(other))
 
-    def __gt__(self, other) -> Responders:
+    def __gt__(self, other: "FieldExpr | int") -> Responders:
         return Responders(self._signed() > self._signed_other(other))
 
-    def __ge__(self, other) -> Responders:
+    def __ge__(self, other: "FieldExpr | int") -> Responders:
         return Responders(self._signed() >= self._signed_other(other))
 
     __hash__ = None  # type: ignore[assignment]
@@ -147,7 +148,8 @@ class AscContext:
 
     # -- fields ---------------------------------------------------------------------
 
-    def add_field(self, name: str, values=0) -> None:
+    def add_field(self, name: str,
+                  values: int | list[int] | np.ndarray = 0) -> None:
         """Create a field; ``values`` is a scalar fill or per-cell array."""
         if name in self._fields:
             raise AscError(f"field {name!r} already exists")
@@ -163,7 +165,8 @@ class AscContext:
     def __getitem__(self, name: str) -> FieldExpr:
         return self.field(name)
 
-    def set_field(self, name: str, expr, where: Responders | None = None,
+    def set_field(self, name: str, expr: FieldExpr | int | np.ndarray,
+                  where: Responders | None = None,
                   ) -> None:
         """Masked parallel assignment, like a masked parallel instruction."""
         if name not in self._fields:
@@ -201,7 +204,7 @@ class AscContext:
 
     def count(self, responders: Responders) -> int:
         """Exact responder count (response counter unit)."""
-        return red.count_responders(responders.mask, self._all())
+        return int(red.count_responders(responders.mask, self._all()))
 
     def pick_one(self, responders: Responders) -> int | None:
         """Multiple response resolver: index of the first responder."""
@@ -209,7 +212,7 @@ class AscContext:
         idx = np.flatnonzero(first)
         return int(idx[0]) if idx.size else None
 
-    def each_responder(self, responders: Responders):
+    def each_responder(self, responders: Responders) -> Iterator[int]:
         """Iterate responders the way ASC hardware does: pick-one, yield,
         drop, repeat — order is PE order by construction."""
         current = responders
@@ -225,50 +228,54 @@ class AscContext:
     def _all(self) -> np.ndarray:
         return np.ones(self.num_cells, dtype=bool)
 
-    def _vals(self, field_or_expr) -> np.ndarray:
+    def _vals(self, field_or_expr: "FieldExpr | str") -> np.ndarray:
         if isinstance(field_or_expr, FieldExpr):
             return field_or_expr.values
         return self._fields[field_or_expr]
 
-    def max(self, field, where: Responders | None = None,
+    def max(self, field: FieldExpr | str, where: Responders | None = None,
             signed: bool = True) -> int:
         """Global maximum (max/min unit); signed by default like ``rmax``."""
         mask = (where.mask if where is not None
                 else self._all())
         fn = red.reduce_max if signed else red.reduce_max_unsigned
         raw = fn(self._vals(field), mask, self.width)
-        return to_signed(raw, self.width) if signed else raw
+        return int(to_signed(raw, self.width) if signed else raw)
 
-    def min(self, field, where: Responders | None = None,
+    def min(self, field: FieldExpr | str, where: Responders | None = None,
             signed: bool = True) -> int:
         mask = (where.mask if where is not None
                 else self._all())
         fn = red.reduce_min if signed else red.reduce_min_unsigned
         raw = fn(self._vals(field), mask, self.width)
-        return to_signed(raw, self.width) if signed else raw
+        return int(to_signed(raw, self.width) if signed else raw)
 
-    def sum(self, field, where: Responders | None = None) -> int:
+    def sum(self, field: FieldExpr | str,
+            where: Responders | None = None) -> int:
         """Saturating signed sum (sum unit)."""
         mask = (where.mask if where is not None
                 else self._all())
-        return to_signed(red.reduce_sum(self._vals(field), mask, self.width),
-                         self.width)
+        return int(to_signed(
+            red.reduce_sum(self._vals(field), mask, self.width), self.width))
 
-    def bit_and(self, field, where: Responders | None = None) -> int:
+    def bit_and(self, field: FieldExpr | str,
+                where: Responders | None = None) -> int:
         mask = (where.mask if where is not None
                 else self._all())
-        return red.reduce_and(self._vals(field), mask, self.width)
+        return int(red.reduce_and(self._vals(field), mask, self.width))
 
-    def bit_or(self, field, where: Responders | None = None) -> int:
+    def bit_or(self, field: FieldExpr | str,
+               where: Responders | None = None) -> int:
         mask = (where.mask if where is not None
                 else self._all())
-        return red.reduce_or(self._vals(field), mask, self.width)
+        return int(red.reduce_or(self._vals(field), mask, self.width))
 
-    def get(self, field, index: int, signed: bool = False) -> int:
+    def get(self, field: FieldExpr | str, index: int,
+            signed: bool = False) -> int:
         """Read one cell's field value (rget with a one-hot responder)."""
         if not 0 <= index < self.num_cells:
             raise AscError(f"cell index {index} out of range")
         one_hot = np.zeros(self.num_cells, dtype=bool)
         one_hot[index] = True
         raw = red.reduce_or(self._vals(field), one_hot, self.width)
-        return to_signed(raw, self.width) if signed else raw
+        return int(to_signed(raw, self.width) if signed else raw)

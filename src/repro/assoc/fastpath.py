@@ -1,0 +1,681 @@
+"""The fast-path execution backend: functional semantics + static timing.
+
+``repro run --backend fast`` (and the serve tier's ``"backend": "fast"``
+job flag) executes programs without stepping the cycle-accurate
+pipeline, while producing **bit-identical** cycle counts and statistics:
+
+* **Spawn-free programs** run once on the functional backend with a
+  :class:`~repro.assoc.functional.BlockTraceRecorder`, then the
+  recorded block path is folded through the compositional block
+  summaries of :class:`repro.analysis.timing.TimingAnalysis` — timing
+  is recovered per *block* (memoized on pipeline state), not per
+  instruction.
+
+* **Spawning programs** co-simulate: one pass that drives the same
+  :class:`~repro.core.execute.Executor` the cycle core uses, with an
+  issue loop that mirrors :meth:`repro.core.processor.Processor.run`
+  exactly (scheduler disciplines inlined, same binding-cause priority,
+  same counters) but replaces the core's per-cycle re-evaluation of
+  every thread's readiness with cached ready times invalidated only by
+  the events that can change them (own issue, ``tput`` delivery, join
+  wake, spawn, structural-unit occupancy).  Because effects still apply
+  at issue in the core's order, this path is exact even for racy
+  programs.
+
+Unsupported in this backend: ``model_fetch`` machines, pipeline traces,
+the race sanitizer, the cycle profiler, and fault injection — all of
+which observe (or perturb) per-cycle pipeline state the fast path never
+materializes.  Callers get :class:`FastPathError` for the former and
+should route the latter to the cycle backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.analysis.timing import (
+    K_BRANCH,
+    K_TJOIN,
+    K_TPUT,
+    RAW_CAUSE,
+    TimingAnalysis,
+    TimingModel,
+    UNIT_NAMES,
+)
+from repro.asm.program import Program
+from repro.assoc.functional import FunctionalMachine
+from repro.core import stats as st
+from repro.core.config import (
+    MTMode,
+    ProcessorConfig,
+    SchedulerPolicy,
+)
+from repro.core.execute import (
+    _BRANCHES,
+    _SCALAR_INT,
+    ExecutionError,
+    Executor,
+    make_scalar_int_ops,
+)
+from repro.core.processor import SimTimeout, SimulationError
+from repro.core.stats import Stats
+from repro.core.thread import ThreadContext, ThreadState, ThreadStatusTable
+
+__all__ = [
+    "FastMachine",
+    "FastPathError",
+    "FastRunResult",
+    "run_fast",
+]
+
+
+class FastPathError(SimulationError):
+    """The fast backend cannot honour this configuration or feature."""
+
+
+@dataclass
+class FastRunResult:
+    """Outcome of one fast-path run; duck-types the core's RunResult."""
+
+    stats: Stats
+    machine: "FastMachine"
+    trace: list[object] = field(default_factory=list)
+    paused: bool = False
+
+    @property
+    def processor(self) -> "FastMachine":
+        """RunResult-compatible alias (snapshots read ``.processor``)."""
+        return self.machine
+
+    def scalar(self, reg: int, thread: int = 0) -> int:
+        return int(self.machine.threads[thread].read_sreg(reg))
+
+    def pe_reg(self, reg: int, thread: int = 0) -> np.ndarray:
+        return self.machine.pe.read_reg(thread, reg).copy()
+
+    def pe_flag(self, flag: int, thread: int = 0) -> np.ndarray:
+        return self.machine.pe.read_flag(thread, flag).copy()
+
+    def memory(self, base: int, count: int) -> list[int]:
+        return list(self.machine.mem.dump(base, count))
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+
+# -- scalar micro-op compiler -------------------------------------------------
+#
+# The functional Executor pays a Python dispatch (mnemonic lookup, spec
+# attribute reads, an ExecResult allocation) on every instruction.  For
+# the scalar ALU/branch subset — the bulk of dynamic instructions in
+# control- and address-arithmetic-heavy code — that outcome is statically
+# known, so each pc compiles once into a closure over the *same* integer
+# op tables the Executor dispatches through: arithmetic is identical by
+# construction, only the dispatch disappears.
+
+PlainOp = Callable[[ThreadContext], None]
+BranchOp = Callable[[ThreadContext], bool]
+
+
+def _compile_fastops(
+    program: Program, executor: Executor,
+) -> tuple[list[PlainOp | None], list[BranchOp | None]]:
+    """Per-pc closures for the scalar hot path.
+
+    ``plain[pc]`` replaces ``Executor.execute`` for a scalar ALU /
+    ``lui`` instruction (control outcome statically ``pc + 1``);
+    ``branch[pc]`` evaluates a branch condition.  Every other pc gets
+    ``None`` and falls back to the Executor.
+    """
+    int_ops = make_scalar_int_ops(executor.width)
+    mask = executor.word_mask
+    width = executor.width
+    n = len(program.instructions)
+    plain: list[PlainOp | None] = [None] * n
+    branch: list[BranchOp | None] = [None] * n
+    for pc, instr in enumerate(program.instructions):
+        m = instr.mnemonic
+        pair = _SCALAR_INT.get(m)
+        if pair is not None:
+            op = int_ops[pair[0]]
+            if pair[1] == "rt":
+                def f_rr(t: ThreadContext, rd: int = instr.rd,
+                         rs: int = instr.rs, rt: int = instr.rt,
+                         op: Callable[[int, int], int] = op,
+                         mask: int = mask) -> None:
+                    s = t.sregs
+                    v = op(s[rs] if rs else 0, s[rt] if rt else 0)
+                    if rd:
+                        s[rd] = v & mask
+                plain[pc] = f_rr
+            else:
+                def f_ri(t: ThreadContext, rd: int = instr.rd,
+                         rs: int = instr.rs, imm: int = instr.imm,
+                         op: Callable[[int, int], int] = op,
+                         mask: int = mask) -> None:
+                    s = t.sregs
+                    v = op(s[rs] if rs else 0, imm)
+                    if rd:
+                        s[rd] = v & mask
+                plain[pc] = f_ri
+        elif m == "lui":
+            def f_lui(t: ThreadContext, rd: int = instr.rd,
+                      val: int = (instr.imm << 16) & mask) -> None:
+                if rd:
+                    t.sregs[rd] = val
+            plain[pc] = f_lui
+        elif m in _BRANCHES:
+            def f_br(t: ThreadContext, rd: int = instr.rd,
+                     rs: int = instr.rs,
+                     cmp: Callable[[int, int, int], bool] = _BRANCHES[m],
+                     w: int = width) -> bool:
+                s = t.sregs
+                return cmp(s[rd] if rd else 0, s[rs] if rs else 0, w)
+            branch[pc] = f_br
+    return plain, branch
+
+
+class FastMachine:
+    """One configured fast-path machine.  Reusable across programs."""
+
+    def __init__(self, config: ProcessorConfig | None = None) -> None:
+        self.cfg = config or ProcessorConfig()
+        self._fm = FunctionalMachine(self.cfg)
+        self._analysis: TimingAnalysis | None = None
+        self._analysis_program: Program | None = None
+        self._plain: list[PlainOp | None] = []
+        self._branch: list[BranchOp | None] = []
+        self._ops_program: Program | None = None
+
+    # Architectural state lives in the wrapped functional machine; the
+    # accessors mirror Processor's attributes for snapshot/tooling code.
+
+    @property
+    def pe(self):  # type: ignore[no-untyped-def]
+        return self._fm.pe
+
+    @property
+    def mem(self):  # type: ignore[no-untyped-def]
+        return self._fm.mem
+
+    @property
+    def threads(self) -> ThreadStatusTable:
+        return self._fm.threads
+
+    @property
+    def executor(self) -> Executor:
+        return self._fm.executor
+
+    @property
+    def program(self) -> Program | None:
+        return self._fm.program
+
+    @property
+    def halted(self) -> bool:
+        return self._fm.halted
+
+    def load(self, program: Program) -> None:
+        self._fm.load(program)
+
+    def _timing(self, program: Program) -> TimingAnalysis:
+        if self._analysis is None or self._analysis_program is not program:
+            self._analysis = TimingAnalysis(program, self.cfg)
+            self._analysis_program = program
+        return self._analysis
+
+    def _ops(self, program: Program,
+             ) -> tuple[list[PlainOp | None], list[BranchOp | None]]:
+        if self._ops_program is not program:
+            self._plain, self._branch = _compile_fastops(
+                program, self._fm.executor)
+            self._ops_program = program
+        return self._plain, self._branch
+
+    def run(self, program: Program | None = None,
+            max_cycles: int | None = None) -> FastRunResult:
+        if program is not None:
+            self.load(program)
+        prog = self._fm.program
+        if prog is None:
+            raise SimulationError("no program loaded")
+        if self.cfg.model_fetch:
+            raise FastPathError(
+                "the fast backend does not model the fetch stage; run "
+                "model_fetch configurations on the cycle backend")
+        limit = (max_cycles if max_cycles is not None
+                 else self.cfg.max_cycles)
+        if any(ins.mnemonic == "tspawn" for ins in prog.instructions):
+            plain, branch = self._ops(prog)
+            stats = _CoSim(self._fm, prog, self.cfg, plain, branch).run(limit)
+        else:
+            stats = self._run_folded(prog, limit)
+        return FastRunResult(stats, self)
+
+    def _run_folded(self, prog: Program, limit: int) -> Stats:
+        """Spawn-free path: functional run + compositional timing fold."""
+        events = self._trace_single(prog, limit)
+        return self._timing(prog).fold(events, max_cycles=limit)
+
+    def _trace_single(self, prog: Program, limit: int) -> list[int]:
+        """Single-thread functional execution, recording fold events.
+
+        Specialized replacement for ``FunctionalMachine.run`` plus
+        :class:`BlockTraceRecorder`: a spawn-free program has exactly
+        one live thread forever, so the round-robin scheduler collapses
+        to straight interpretation — compiled scalar micro-ops where
+        available, the Executor for everything else.  Returns the main
+        thread's event stream; a truncated stream (watchdog) is fine
+        because the fold re-raises the core's timeout exactly.
+        """
+        fm = self._fm
+        thread = fm.threads[0]
+        instructions = prog.instructions
+        plain, branch = self._ops(prog)
+        executor = fm.executor
+        events: list[int] = []
+        append = events.append
+        num_threads = self.cfg.num_threads
+        # One issue costs >= 1 cycle, so limit + 2 steps cover every
+        # issue the core could attempt before its watchdog fires.
+        max_steps = limit + 2
+        steps = 0
+        pc = thread.pc
+        n = len(instructions)
+        while 0 <= pc < n and steps <= max_steps:
+            f = plain[pc]
+            if f is not None:
+                f(thread)
+                pc += 1
+                steps += 1
+                continue
+            g = branch[pc]
+            if g is not None:
+                if g(thread):
+                    append(1)
+                    pc += 1 + instructions[pc].imm
+                else:
+                    append(0)
+                    pc += 1
+                steps += 1
+                continue
+            thread.pc = pc
+            instr = instructions[pc]
+            m = instr.mnemonic
+            if m == "tjoin":
+                target = fm.threads[
+                    thread.read_sreg(instr.rs) % num_threads]
+                if target.state is not ThreadState.FREE:
+                    # The only live thread is joining a live handle:
+                    # the core reports deadlock the next round.
+                    raise SimulationError(
+                        f"deadlock: threads [{thread.tid}] blocked in "
+                        f"tjoin with no runnable thread")
+                outcome = executor.execute(instr, thread, steps)
+                append(target.tid)
+            elif m == "tput":
+                outcome = executor.execute(instr, thread, steps)
+                append(thread.read_sreg(instr.rd) % num_threads)
+            elif m == "jr":
+                outcome = executor.execute(instr, thread, steps)
+                append(outcome.next_pc)
+            else:
+                outcome = executor.execute(instr, thread, steps)
+            pc = outcome.next_pc
+            steps += 1
+            if outcome.halt:
+                fm.halted = True
+                break
+            if thread.state is not ThreadState.RUNNABLE:
+                # texit on the main thread: no live threads remain.
+                fm.threads.release(thread.tid)
+                break
+        thread.pc = pc
+        return events
+
+
+class _CoSim:
+    """Cycle-exact co-simulation of the core's issue loop.
+
+    Drives the functional Executor at issue time while mirroring
+    ``Processor.run`` round for round: the same candidate evaluation
+    (with within-round staleness), the same scheduler state machines,
+    the same wait/idle accounting — minus the per-cycle Python
+    re-evaluation of every thread, which cached ready times replace.
+    """
+
+    def __init__(self, machine: FunctionalMachine, program: Program,
+                 cfg: ProcessorConfig,
+                 plain: list[PlainOp | None],
+                 branch: list[BranchOp | None]) -> None:
+        self.machine = machine
+        self.program = program
+        self.cfg = cfg
+        self.model = TimingModel(program, cfg)
+        self.table = self.model.table
+        self._plain = plain
+        self._branch = branch
+        n = cfg.num_threads
+        # Int-keyed scoreboards (reg key -> (result, writeback, class)),
+        # one per hardware context; reset on spawn like activate() does.
+        self.score: list[dict[int, tuple[int, int, int]]] = [
+            {} for _ in range(n)]
+        self.unit_busy = [0, 0, 0]
+        # Cached readiness per context: (ready, cause, base), valid
+        # until an event that can move it lands (dirty flag), plus the
+        # structural unit the cached value depends on (-1 none).
+        self.cache: list[tuple[int, str | None, int]] = [(0, None, 0)] * n
+        self.dirty = [True] * n
+        self.cache_unit = [-1] * n
+        self.stats = Stats()
+        self.halted = False
+
+    # -- readiness ---------------------------------------------------------
+
+    def _ready(self, thread: ThreadContext) -> tuple[int, str | None, int]:
+        pc = thread.pc
+        program = self.program
+        if not 0 <= pc < len(program.instructions):
+            raise SimulationError(
+                f"thread {thread.tid}: PC {pc} outside the program "
+                f"(0..{len(program.instructions) - 1})")
+        it = self.table[pc]
+        base = thread.min_issue
+        if thread.last_issue + 1 > base:
+            base = thread.last_issue + 1
+        ready = base
+        cause: str | None = None
+        sc = self.score[thread.tid]
+        for key, read_off in it.srcs:
+            e = sc.get(key)
+            if e is None:
+                continue
+            need = e[0] + 1 - read_off
+            if need > ready:
+                ready = need
+                cause = RAW_CAUSE[e[2] * 3 + it.klass]
+        if it.dest >= 0:
+            e = sc.get(it.dest)
+            if e is not None:
+                if it.raises is not None:
+                    # The core's WAW probe computes the consumer's
+                    # writeback offset, which raises the latency
+                    # model's ValueError for an op the machine lacks —
+                    # but only while the entry survives prune_score at
+                    # the thread's last issue cycle.
+                    last = thread.last_issue
+                    if e[0] >= last or e[1] >= last:
+                        raise ValueError(it.raises_value)
+                else:
+                    need = e[1] + 1 - it.wb
+                    if need > ready:
+                        ready = need
+                        cause = st.STALL_WAW
+        if it.unit >= 0:
+            busy = self.unit_busy[it.unit]
+            if busy > ready:
+                ready = busy
+                cause = st.STALL_STRUCTURAL
+        self.cache_unit[thread.tid] = it.unit
+        return ready, cause, base
+
+    # -- issue -------------------------------------------------------------
+
+    def _issue(self, thread: ThreadContext, cycle: int, base: int,
+               cause: str | None) -> bool:
+        program = self.program
+        threads = self.machine.threads
+        tid = thread.tid
+        pc = thread.pc
+        instr = program.instructions[pc]
+        it = self.table[pc]
+        stats = self.stats
+
+        if it.kind == K_TJOIN:
+            target = threads[
+                thread.read_sreg(instr.rs) % self.cfg.num_threads]
+            if target.state is not ThreadState.FREE:
+                thread.state = ThreadState.JOINING
+                thread.join_target = target.tid
+                return False
+
+        if it.raises is not None:
+            raise SimulationError(it.raises)
+
+        if cause is not None and cycle > base:
+            stats.wait_cycles[cause] += cycle - base
+
+        taken = False
+        halt = False
+        spawned: int | None = None
+        fp = self._plain[pc]
+        if fp is not None:
+            fp(thread)
+            next_pc = pc + 1
+        else:
+            gb = self._branch[pc]
+            if gb is not None:
+                taken = gb(thread)
+                next_pc = it.target if taken else pc + 1
+            else:
+                try:
+                    outcome = self.machine.executor.execute(
+                        instr, thread, cycle)
+                except ExecutionError as exc:
+                    raise SimulationError(
+                        f"{exc} at {program.location_of(pc)}") from exc
+                next_pc = outcome.next_pc
+                taken = outcome.taken
+                halt = outcome.halt
+                spawned = outcome.spawned
+
+        if it.unit >= 0:
+            busy = self.unit_busy[it.unit]
+            if cycle < busy:
+                raise RuntimeError(
+                    f"{UNIT_NAMES[it.unit]} issued at {cycle} "
+                    f"while busy until {busy}")
+            self.unit_busy[it.unit] = cycle + it.occupancy
+            for other in range(self.cfg.num_threads):
+                if self.cache_unit[other] == it.unit:
+                    self.dirty[other] = True
+
+        sc = self.score[tid]
+        if it.dest >= 0 and it.roff >= 0:
+            sc[it.dest] = (cycle + it.roff, cycle + it.wb, it.klass)
+        if it.kind == K_TPUT:
+            # Post-execute handle read, mirroring the core's quirk.
+            ttid = thread.read_sreg(instr.rd) % self.cfg.num_threads
+            self.score[ttid][instr.imm] = (cycle + 2, cycle + 3, it.klass)
+            self.dirty[ttid] = True
+
+        resolve = (it.resolve_taken if it.kind == K_BRANCH and taken
+                   else it.resolve_not_taken)
+        thread.min_issue = cycle + resolve
+        if resolve > 1:
+            stats.wait_cycles[st.STALL_CONTROL] += resolve - 1
+        thread.pc = next_pc
+        thread.last_issue = cycle
+        thread.instructions_issued += 1
+        self.dirty[tid] = True
+
+        if halt:
+            self.halted = True
+        if thread.state is ThreadState.EXITED:
+            threads.release(tid)
+            for ctx in threads:
+                if (ctx.state is ThreadState.JOINING
+                        and ctx.join_target == tid):
+                    ctx.state = ThreadState.RUNNABLE
+                    ctx.join_target = None
+                    if cycle + 1 > ctx.min_issue:
+                        ctx.min_issue = cycle + 1
+                    stats.wait_cycles[st.STALL_JOIN] += 1
+                    self.dirty[ctx.tid] = True
+        if spawned is not None:
+            stats.threads_spawned += 1
+            self.score[spawned] = {}
+            self.dirty[spawned] = True
+            self.cache_unit[spawned] = -1
+
+        stats.count_issue(tid, it.eclass)
+        if it.runit is not None:
+            stats.reduction_unit_uses[it.runit] += 1
+        return True
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self, limit: int) -> Stats:
+        cfg = self.cfg
+        threads = self.machine.threads
+        # The core allocates the main thread with start_cycle=1; the
+        # functional load() used 0 — rebase before the first round.
+        main = threads[0]
+        main.min_issue = max(main.min_issue, 1)
+        main.last_issue = max(main.last_issue, 0)
+        width = cfg.issue_width
+        mode = cfg.mt_mode
+        fixed = cfg.scheduler is SchedulerPolicy.FIXED
+        num_threads = cfg.num_threads
+        stats = self.stats
+        cache = self.cache
+        dirty = self.dirty
+        table = self.table
+
+        pointer = -1               # rotating-priority state
+        current: int | None = None  # coarse-grain resident thread
+        switch_until = 0
+        coarse = mode is MTMode.COARSE
+        smt2 = mode is MTMode.SMT2
+
+        cycle = 1
+        while not self.halted:
+            live = threads.live_threads()
+            if not live:
+                break
+            if cycle > limit:
+                raise SimTimeout(
+                    f"exceeded max_cycles={limit}; "
+                    f"live threads at {[t.pc for t in live]}")
+
+            candidates: list[ThreadContext] = []
+            ready_of: dict[int, int] = {}
+            next_ready: int | None = None
+            for thread in live:
+                if thread.state is not ThreadState.RUNNABLE:
+                    continue
+                tid = thread.tid
+                if dirty[tid]:
+                    cache[tid] = self._ready(thread)
+                    dirty[tid] = False
+                rc = cache[tid][0]
+                ready_of[tid] = rc
+                if rc <= cycle:
+                    candidates.append(thread)
+                elif next_ready is None or rc < next_ready:
+                    next_ready = rc
+
+            if not candidates:
+                if next_ready is None:
+                    joining = [t.tid for t in live
+                               if t.state is ThreadState.JOINING]
+                    raise SimulationError(
+                        f"deadlock: threads {joining} blocked in tjoin "
+                        f"with no runnable thread")
+                skip_to = max(next_ready, switch_until, cycle + 1)
+                stats.idle_slots += (skip_to - cycle) * width
+                cycle = skip_to
+                continue
+
+            # Scheduler disciplines, inlined from ThreadScheduler.
+            chosen: list[ThreadContext]
+            if coarse:
+                if cycle < switch_until:
+                    chosen = []
+                else:
+                    resident = None
+                    if current is not None:
+                        for t in candidates:
+                            if t.tid == current:
+                                resident = t
+                                break
+                    if resident is not None:
+                        chosen = [resident]
+                    elif (current is not None and current in ready_of
+                          and ready_of[current] - cycle
+                          < cfg.coarse_switch_threshold):
+                        chosen = []
+                    else:
+                        if fixed:
+                            pick = candidates[0]
+                        else:
+                            pick = min(candidates, key=lambda t: (
+                                t.tid - pointer - 1) % num_threads)
+                        if current is not None and pick.tid != current:
+                            switch_until = cycle + cfg.coarse_switch_penalty
+                            current = pointer = pick.tid
+                            chosen = []
+                        else:
+                            current = pointer = pick.tid
+                            chosen = [pick]
+            elif smt2:
+                if fixed:
+                    ordered = candidates
+                else:
+                    ordered = sorted(candidates, key=lambda t: (
+                        t.tid - pointer - 1) % num_threads)
+                chosen = []
+                ports = 0
+                for t in ordered:
+                    port = 1 if table[t.pc].klass == 0 else 2
+                    if ports & port:
+                        continue
+                    chosen.append(t)
+                    ports |= port
+                    if len(chosen) == 2:
+                        break
+                if chosen:
+                    pointer = chosen[0].tid
+            else:                  # FINE / SINGLE
+                if fixed:
+                    pick = candidates[0]
+                else:
+                    pick = min(candidates, key=lambda t: (
+                        t.tid - pointer - 1) % num_threads)
+                pointer = pick.tid
+                chosen = [pick]
+
+            issued = 0
+            for thread in chosen:
+                _, cause, base = cache[thread.tid]
+                if self._issue(thread, cycle, base, cause):
+                    issued += 1
+                if self.halted:
+                    break
+            stats.idle_slots += width - issued
+            cycle += 1
+
+        stats.cycles = cycle - 1
+        stats.issue_slots = stats.cycles * width
+        self.machine.halted = self.halted
+        return stats
+
+
+def run_fast(source_or_program: str | Program,
+             config: ProcessorConfig | None = None,
+             max_cycles: int | None = None,
+             **asm_kwargs: object) -> FastRunResult:
+    """Assemble (if needed) and run on the fast-path backend."""
+    from repro.asm.assembler import assemble
+
+    cfg = config or ProcessorConfig()
+    if isinstance(source_or_program, str):
+        program = assemble(source_or_program, word_width=cfg.word_width,
+                           **asm_kwargs)
+    else:
+        program = source_or_program
+    machine = FastMachine(cfg)
+    return machine.run(program, max_cycles=max_cycles)

@@ -166,6 +166,17 @@ def cmd_run(args: argparse.Namespace) -> int:
     except AsmError as exc:
         print(f"assembly error: {exc}", file=sys.stderr)
         return 1
+    backend = getattr(args, "backend", "cycle")
+    if backend == "fast":
+        conflicts = [flag for flag, on in (
+            ("--trace", args.trace), ("--sanitize", args.sanitize),
+            ("--profile", getattr(args, "profile", False))) if on]
+        if conflicts:
+            print(f"--backend fast does not support "
+                  f"{', '.join(conflicts)}: these observe per-cycle "
+                  f"pipeline state the fast path never materializes",
+                  file=sys.stderr)
+            return 2
     sanitizer = None
     if args.sanitize:
         from repro.core.sanitizer import RaceSanitizer
@@ -176,8 +187,13 @@ def cmd_run(args: argparse.Namespace) -> int:
         from repro.obs import CycleProfiler
 
         profiler = CycleProfiler()
-    proc = Processor(cfg, trace=args.trace, sanitizer=sanitizer,
-                     profiler=profiler)
+    if backend == "fast":
+        from repro.assoc.fastpath import FastMachine
+
+        proc: Processor | FastMachine = FastMachine(cfg)
+    else:
+        proc = Processor(cfg, trace=args.trace, sanitizer=sanitizer,
+                         profiler=profiler)
     proc.load(program)
     _load_lmem_args(proc, args, cfg)
     try:
@@ -191,7 +207,8 @@ def cmd_run(args: argparse.Namespace) -> int:
 
         snap = ResultSnapshot.from_result(
             result,
-            profile=profiler.to_json() if profiler is not None else None)
+            profile=profiler.to_json() if profiler is not None else None,
+            backend=backend)
         payload = {"machine": cfg.describe(), "file": args.file,
                    **snap.to_json()}
         if sanitizer is not None:
@@ -762,6 +779,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="attach the cycle profiler; adds the "
                             "attribution report (or a 'profile' JSON "
                             "section with --json)")
+    p_run.add_argument("--backend", choices=("cycle", "fast"),
+                       default="cycle",
+                       help="execution backend: 'cycle' steps the "
+                            "cycle-accurate pipeline; 'fast' runs the "
+                            "functional backend and recovers bit-identical "
+                            "cycle counts from compositional static timing "
+                            "summaries (incompatible with --trace, "
+                            "--sanitize, and --profile)")
     p_run.set_defaults(func=cmd_run)
 
     p_prof = sub.add_parser(

@@ -16,6 +16,7 @@ test suite cross-checks the two implementations property-wise.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -23,7 +24,7 @@ from repro.core.thread import ThreadContext, ThreadState
 from repro.isa import registers
 from repro.isa.instruction import Instruction
 from repro.network import reduction as red
-from repro.pe.alu import CMP_OPS, FLAG_OPS, INT_OPS
+from repro.pe.alu import _MAX_SHIFT, CMP_OPS, FLAG_OPS, INT_OPS
 from repro.pe.pe_array import PEArray
 from repro.util.bitops import (
     mask_for_width,
@@ -61,6 +62,87 @@ def _scalar_op(base: str, a: int, b: int, width: int) -> int:
     fn = INT_OPS[base]
     return int(fn(np.array([a], dtype=np.int64),
                   np.array([b], dtype=np.int64), width)[0])
+
+
+def make_scalar_int_ops(width: int) -> dict[str, "Callable[[int, int], int]"]:
+    """Pure-int scalar ALU, semantics identical to :data:`INT_OPS`.
+
+    The scalar path executes one op on one value; building two numpy
+    arrays per op (as ``_scalar_op`` does) dominates the functional
+    backend's runtime.  These closures keep the exact corner semantics
+    of :mod:`repro.pe.alu` — wrapping W-bit arithmetic, the
+    ``min(count & 63, 31)`` shift clamp with overshift producing 0 (or
+    the sign fill for ``sra``), truncating signed division with the
+    all-ones div-by-zero result — in plain Python integers.  A property
+    test cross-checks every op against the vectorized implementation.
+    """
+    mask = mask_for_width(width)
+    half = 1 << (width - 1)
+    span = 1 << width
+    shift_mask = mask_for_width(6)
+
+    def to_s(v: int) -> int:
+        u = v & mask
+        return u - span if u >= half else u
+
+    def add(a: int, b: int) -> int:
+        return (a + b) & mask
+
+    def sub(a: int, b: int) -> int:
+        return (a - b) & mask
+
+    def and_(a: int, b: int) -> int:
+        return (a & b) & mask
+
+    def or_(a: int, b: int) -> int:
+        return (a | b) & mask
+
+    def xor(a: int, b: int) -> int:
+        return (a ^ b) & mask
+
+    def nor(a: int, b: int) -> int:
+        return ~(a | b) & mask
+
+    def sll(a: int, b: int) -> int:
+        counts = min(b & shift_mask, _MAX_SHIFT)
+        if counts >= width:
+            return 0
+        return ((a & mask) << counts) & mask
+
+    def srl(a: int, b: int) -> int:
+        counts = min(b & shift_mask, _MAX_SHIFT)
+        if counts >= width:
+            return 0
+        return (a & mask) >> counts
+
+    def sra(a: int, b: int) -> int:
+        counts = min(b & shift_mask, _MAX_SHIFT)
+        signed = to_s(a)
+        if counts >= width:
+            return mask if signed < 0 else 0
+        return (signed >> counts) & mask
+
+    def mul(a: int, b: int) -> int:
+        return ((a & mask) * (b & mask)) & mask
+
+    def div(a: int, b: int) -> int:
+        sa, sb = to_s(a), to_s(b)
+        if sb == 0:
+            return mask
+        q = abs(sa) // abs(sb)
+        if (sa < 0) != (sb < 0):
+            q = -q
+        return q & mask
+
+    def slt(a: int, b: int) -> int:
+        return 1 if to_s(a) < to_s(b) else 0
+
+    def sltu(a: int, b: int) -> int:
+        return 1 if (a & mask) < (b & mask) else 0
+
+    return {"add": add, "sub": sub, "and": and_, "or": or_, "xor": xor,
+            "nor": nor, "sll": sll, "srl": srl, "sra": sra, "mul": mul,
+            "div": div, "slt": slt, "sltu": sltu}
 
 
 # Scalar mnemonic -> (base op, operand-B source: "rt" | "imm").
@@ -115,6 +197,9 @@ class Executor:
         self.threads = thread_table
         self.width = word_width
         self.word_mask = mask_for_width(word_width)
+        # Pure-int scalar ALU (same semantics as INT_OPS, no numpy round
+        # trip per op) — the functional backend's hot path.
+        self._int_ops = make_scalar_int_ops(word_width)
         # Race sanitizer (repro.core.sanitizer.RaceSanitizer) or None.
         # Memory and tput/tget delivery events fire here because the
         # executor is where addresses and target threads resolve; all
@@ -153,11 +238,12 @@ class Executor:
         pc = thread.pc
         nxt = pc + 1
 
-        if m in _SCALAR_INT:
-            base, bsrc = _SCALAR_INT[m]
+        pair = _SCALAR_INT.get(m)
+        if pair is not None:
+            base, bsrc = pair
             a = thread.read_sreg(instr.rs)
             b = thread.read_sreg(instr.rt) if bsrc == "rt" else instr.imm
-            thread.write_sreg(instr.rd, _scalar_op(base, a, b, self.width),
+            thread.write_sreg(instr.rd, self._int_ops[base](a, b),
                               self.word_mask)
             return ExecResult(nxt)
         if m == "lui":

@@ -51,7 +51,11 @@ from repro.faults.spec import FaultSpec
 # 5: disk cache entries became checksummed envelopes
 #    (``snapshot.pack_snapshot``); pre-envelope pickles are unreadable,
 #    so retire their keys.
-CACHE_SCHEMA_VERSION = 5
+# 6: jobs carry a ``backend`` flag (cycle vs fast path) and snapshots
+#    record which backend produced them.  The fast path is validated
+#    bit-identical, but the key keeps the runs distinguishable so a
+#    backend bug can never poison cycle-backend cache entries.
+CACHE_SCHEMA_VERSION = 6
 
 
 def canonical_json(payload) -> str:
@@ -101,6 +105,7 @@ def job_key(program: Program, cfg: ProcessorConfig,
             sanitize: bool = False,
             profile: bool = False,
             verify: bool = False,
+            backend: str = "cycle",
             schema_version: int = CACHE_SCHEMA_VERSION) -> str:
     """Content hash identifying one simulation. Equal key == same result."""
     payload = {
@@ -113,6 +118,7 @@ def job_key(program: Program, cfg: ProcessorConfig,
         "sanitize": bool(sanitize),
         "profile": bool(profile),
         "verify": bool(verify),
+        "backend": str(backend),
     }
     digest = hashlib.sha256(canonical_json(payload).encode("utf-8"))
     return digest.hexdigest()

@@ -30,6 +30,11 @@ assembled program (:mod:`repro.analysis.equiv`), executes the scheduled
 program only on a proof, and fails the job with the refutation report
 otherwise; the proof summary rides back in the snapshot's ``verify``
 section.
+``"backend": "fast"`` executes on the fast-path backend
+(:mod:`repro.assoc.fastpath`): functional execution plus compositional
+static timing, bit-identical counters at a fraction of the cost.
+Incompatible with ``fault``, ``sanitize``, and ``profile`` (all observe
+or perturb per-cycle pipeline state); ``verify`` composes fine.
 Kernel jobs inherit the kernel's word width and local-memory image, same
 as ``repro faultsim`` does.
 """
@@ -100,6 +105,7 @@ class PreparedJob:
     sanitize: bool = False
     profile: bool = False
     verify: bool = False
+    backend: str = "cycle"
 
 
 @dataclass
@@ -116,11 +122,26 @@ class Job:
     sanitize: bool = False
     profile: bool = False
     verify: bool = False
+    backend: str = "cycle"
 
     def __post_init__(self) -> None:
         if (self.source is None) == (self.kernel is None):
             raise JobError(
                 f"job {self.name!r}: exactly one of source/kernel required")
+        if self.backend not in ("cycle", "fast"):
+            raise JobError(
+                f"job {self.name!r}: backend must be 'cycle' or 'fast', "
+                f"got {self.backend!r}")
+        if self.backend == "fast":
+            incompatible = [flag for flag, on in (
+                ("fault", self.fault is not None),
+                ("sanitize", self.sanitize),
+                ("profile", self.profile)) if on]
+            if incompatible:
+                raise JobError(
+                    f"job {self.name!r}: backend 'fast' does not support "
+                    f"{', '.join(incompatible)} (they observe per-cycle "
+                    f"pipeline state the fast path never materializes)")
 
     @classmethod
     def from_json(cls, obj: dict, base_dir: str | pathlib.Path | None = None,
@@ -129,7 +150,8 @@ class Job:
         if not isinstance(obj, dict):
             raise JobError(f"job entry must be an object, got {type(obj).__name__}")
         known = {"name", "source", "file", "kernel", "config", "lmem",
-                 "max_cycles", "fault", "sanitize", "profile", "verify"}
+                 "max_cycles", "fault", "sanitize", "profile", "verify",
+                 "backend"}
         unknown = sorted(set(obj) - known)
         if unknown:
             raise JobError(f"unknown job field(s): {', '.join(unknown)}")
@@ -163,7 +185,8 @@ class Job:
                    lmem=lmem, max_cycles=obj.get("max_cycles"), fault=fault,
                    sanitize=bool(obj.get("sanitize", False)),
                    profile=bool(obj.get("profile", False)),
-                   verify=bool(obj.get("verify", False)))
+                   verify=bool(obj.get("verify", False)),
+                   backend=str(obj.get("backend", "cycle")))
 
     def prepare(self) -> PreparedJob:
         """Assemble and hash this job into its canonical form."""
@@ -188,12 +211,13 @@ class Job:
                 from exc
         key = job_key(program, cfg, lmem=lmem, fault=self.fault,
                       max_cycles=self.max_cycles, sanitize=self.sanitize,
-                      profile=self.profile, verify=self.verify)
+                      profile=self.profile, verify=self.verify,
+                      backend=self.backend)
         return PreparedJob(name=self.name, key=key, program=program,
                            config=cfg, lmem=lmem,
                            max_cycles=self.max_cycles, fault=self.fault,
                            sanitize=self.sanitize, profile=self.profile,
-                           verify=self.verify)
+                           verify=self.verify, backend=self.backend)
 
 
 def jobs_from_json(payload, base_dir=None) -> list[Job]:

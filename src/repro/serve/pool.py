@@ -127,8 +127,15 @@ def execute_prepared(item: PreparedJob) -> JobOutcome:
             from repro.obs.profiler import CycleProfiler
 
             profiler = CycleProfiler()
-        proc = Processor(item.config, faults=plane, sanitizer=sanitizer,
-                         profiler=profiler)
+        if item.backend == "fast":
+            # Job validation already rejected fault/sanitize/profile for
+            # this backend, so the observability hooks above are all None.
+            from repro.assoc.fastpath import FastMachine
+
+            proc = FastMachine(item.config)
+        else:
+            proc = Processor(item.config, faults=plane, sanitizer=sanitizer,
+                             profiler=profiler)
         proc.load(program)
         for col, values in sorted(item.lmem.items()):
             padded = np.zeros(item.config.num_pes, dtype=np.int64)
@@ -150,7 +157,7 @@ def execute_prepared(item: PreparedJob) -> JobOutcome:
     return JobOutcome(item.key, STATUS_OK,
                       snapshot=ResultSnapshot.from_result(
                           result, races=races, profile=profile,
-                          verify=verify_summary))
+                          verify=verify_summary, backend=item.backend))
 
 
 # ---------------------------------------------------------------------------

@@ -53,12 +53,18 @@ class ResultSnapshot:
     # Translation-validation proof summary (EquivReport.to_json()); None
     # when the job did not demand a validated schedule.
     verify: dict | None = None
-    schema: int = 4
+    # Which execution backend produced this snapshot: "cycle" (the
+    # cycle-accurate core) or "fast" (functional + static timing).  The
+    # fast path is validated bit-identical, so this is provenance, not a
+    # semantic difference.
+    backend: str = "cycle"
+    schema: int = 5
 
     @classmethod
     def from_result(cls, result, races: list | None = None,
                     profile: dict | None = None,
-                    verify: dict | None = None) -> "ResultSnapshot":
+                    verify: dict | None = None,
+                    backend: str = "cycle") -> "ResultSnapshot":
         """Capture a finished ``RunResult`` (or compatible object)."""
         proc = result.processor
         return cls(
@@ -70,6 +76,7 @@ class ResultSnapshot:
             races=races,
             profile=profile,
             verify=verify,
+            backend=backend,
         )
 
     # -- RunResult-compatible accessors -------------------------------------
@@ -96,6 +103,7 @@ class ResultSnapshot:
         """Deterministic JSON-safe dict (service replies, ``run --json``)."""
         out = {
             "schema": self.schema,
+            "backend": self.backend,
             "stats": stats_to_json(self.stats),
             "scalars": {
                 f"t{t}": {f"s{i}": v for i, v in enumerate(regs) if v}

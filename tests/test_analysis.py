@@ -454,7 +454,8 @@ worker:
             "thread-context", "cross-thread-race", "lost-delivery",
             "thread-lifecycle", "unguarded-reduction",
             "lmem-out-of-bounds", "width-overflow", "dead-search",
-            "static-cycle-bound"}
+            "static-cycle-bound", "unreachable-block",
+            "static-timing-bound"}
 
 
 # ---------------------------------------------------------------------------

@@ -502,7 +502,7 @@ class TestServeProfile:
         profiled, plain = report.results
         assert profiled.snapshot.profile is not None
         assert profiled.snapshot.profile["schema"] == PROFILE_SCHEMA
-        assert profiled.snapshot.schema == 4
+        assert profiled.snapshot.schema == 5
         assert plain.snapshot.profile is None
         # The profile rides through JSON serialization.
         payload = profiled.snapshot.to_json()
