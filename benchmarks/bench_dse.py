@@ -1,0 +1,69 @@
+"""BENCH_dse — design-space sweep throughput and warm-resweep economics.
+
+Measures one cold 2x2x2 sweep (8 design points x 2 kernels through the
+batch runner, fitter, and power model) against the warm re-sweep of the
+same spec from the on-disk result cache, and asserts the sweep-level
+guarantees the CI smoke job depends on: a non-empty Pareto frontier,
+byte-identical deterministic payloads across runs, and a warm re-sweep
+that is >=90% cache-served with zero new simulations.  Archived as
+``BENCH_dse.json`` when ``REPRO_RESULTS_DIR`` is set.
+"""
+
+import json
+import shutil
+import tempfile
+
+from repro.bench import Experiment
+from repro.dse import DseRunner, SweepSpec
+from repro.serve import BatchRunner, ResultCache
+
+SPEC = {
+    "name": "bench",
+    "axes": {"num_pes": [8, 16], "num_threads": [2, 4],
+             "word_width": [8, 16]},
+    "kernels": ["vector_mac", "count_matches"],
+    "device": "EP2C35",
+}
+
+
+def test_dse_sweep(once):
+    spec = SweepSpec.from_json(SPEC)
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-dse-")
+    try:
+        def sweep():
+            runner = DseRunner(
+                BatchRunner(cache=ResultCache(cache_dir=cache_dir)))
+            return runner.sweep(spec)
+
+        cold = once(sweep)
+        # Fresh runner over the same disk tier: a restarted process
+        # re-sweeping the same spec pays (almost) nothing.
+        warm = DseRunner(
+            BatchRunner(cache=ResultCache(cache_dir=cache_dir))
+        ).sweep(spec)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    assert cold.ok and warm.ok
+    assert cold.frontier_ids                      # non-empty frontier
+    assert json.dumps(cold.to_json(), sort_keys=True) == \
+        json.dumps(warm.to_json(), sort_keys=True)
+    assert warm.ops["cache_served_rate"] >= 0.9
+    assert warm.ops["computed"] == 0
+
+    exp = Experiment(
+        "BENCH_dse",
+        f"design-space sweep: {len(cold.outcomes)} points x "
+        f"{len(spec.kernels)} kernels on {spec.device.name}")
+    t = exp.new_table(("regime", "elapsed s", "jobs", "simulated",
+                       "cache served", "frontier"))
+    for label, rep in (("cold sweep", cold), ("warm re-sweep", warm)):
+        t.add_row(label, rep.ops["elapsed_s"], rep.ops["jobs"],
+                  rep.ops["computed"], rep.ops["cache_served"],
+                  len(rep.frontier_ids))
+    speedup = cold.ops["elapsed_s"] / max(warm.ops["elapsed_s"], 1e-9)
+    exp.finding(
+        f"warm re-sweep {speedup:.1f}x faster than cold "
+        f"({warm.ops['cache_served']} of {warm.ops['jobs']} jobs from "
+        f"cache); frontier: {', '.join(cold.frontier_ids)}")
+    exp.report()

@@ -546,6 +546,55 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_dse(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.dse import DseRunner, DseSpecError, SweepSpec
+    from repro.obs import DEFAULT_REGISTRY
+    from repro.serve.batch import BatchRunner
+
+    path = pathlib.Path(args.spec_file)
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as exc:
+        print(f"dse: cannot read {path}: {exc}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as exc:
+        print(f"dse: {path} is not valid JSON: {exc}", file=sys.stderr)
+        return 1
+    try:
+        spec = SweepSpec.from_json(payload)
+    except DseSpecError as exc:
+        print(f"dse: {exc}", file=sys.stderr)
+        return 1
+    runner = DseRunner(
+        BatchRunner(cache=_build_cache(args), jobs=args.jobs,
+                    registry=DEFAULT_REGISTRY, deadline_s=args.deadline),
+        registry=DEFAULT_REGISTRY)
+    report = runner.sweep(spec)
+    # The JSON payload is deterministic (byte-identical across re-runs
+    # of the same spec); operational counters go to --ops-json/stderr.
+    text = (json.dumps(report.to_json(), indent=2, sort_keys=True)
+            if args.json else report.render())
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"dse: report -> {args.output}")
+    else:
+        print(text)
+    if args.ops_json:
+        with open(args.ops_json, "w") as fh:
+            fh.write(json.dumps(report.ops, indent=2, sort_keys=True)
+                     + "\n")
+    if not report.ok:
+        errored = [o.point_id for o in report.outcomes
+                   if o.status == "error"]
+        print(f"dse: {len(errored)} point(s) errored: "
+              f"{', '.join(errored)}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _build_serve_cache(args: argparse.Namespace):
     shards = getattr(args, "shards", 1) or 1
     if shards > 1:
@@ -880,6 +929,32 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-job wall-clock deadline (default: none; "
                               "the max_cycles watchdog still applies)")
     p_batch.set_defaults(func=cmd_batch)
+
+    p_dse = sub.add_parser(
+        "dse", help="design-space sweep: Pareto frontier over "
+                    "cycles/fmax/LEs/RAM/power")
+    p_dse.add_argument("spec_file", metavar="sweep.json",
+                       help="sweep spec: axes, kernels, device "
+                            "(see docs/DSE.md)")
+    p_dse.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (default 1 = serial)")
+    p_dse.add_argument("--cache-dir", default=None,
+                       help="on-disk result cache location "
+                            "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")
+    p_dse.add_argument("--no-cache", action="store_true",
+                       help="skip the persistent result cache")
+    p_dse.add_argument("--json", action="store_true",
+                       help="emit the deterministic sweep report as JSON")
+    p_dse.add_argument("--output", default=None, metavar="PATH",
+                       help="write the report to a file instead of stdout")
+    p_dse.add_argument("--ops-json", default=None, metavar="PATH",
+                       help="also write operational counters (cache hits, "
+                            "elapsed) to PATH; kept out of the report so "
+                            "re-sweeps stay byte-identical")
+    p_dse.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-job wall-clock deadline (default: none)")
+    p_dse.set_defaults(func=cmd_dse)
 
     p_serve = sub.add_parser(
         "serve", help="simulation service: JSON-lines on stdin/stdout, "

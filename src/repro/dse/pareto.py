@@ -1,0 +1,82 @@
+"""Pareto-dominance machinery for design-space exploration.
+
+A design point is judged on a tuple of metrics, each with a *sense*
+(``"min"`` or ``"max"``).  Point ``a`` dominates ``b`` when it is no
+worse on every axis and strictly better on at least one; the Pareto
+frontier is the set of non-dominated points.
+
+The functions here are deliberately value-oriented — they work on
+``(key, metrics)`` pairs, not on runner objects — because the hypothesis
+suite drives them with arbitrary synthetic metric tuples to prove the
+two properties the JSON reports rely on:
+
+* **soundness/completeness** — the frontier contains exactly the
+  non-dominated points (nothing dominated sneaks in, nothing
+  non-dominated is dropped);
+* **canonical form** — the frontier is a pure function of the *set* of
+  points: permuting or duplicating the input changes nothing, because
+  the result is de-duplicated by key and sorted.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+SENSE_MIN = "min"
+SENSE_MAX = "max"
+SENSES = (SENSE_MIN, SENSE_MAX)
+
+
+def _check_senses(senses: Sequence[str], width: int) -> None:
+    if len(senses) != width:
+        raise ValueError(f"got {width} metrics but {len(senses)} senses")
+    for s in senses:
+        if s not in SENSES:
+            raise ValueError(f"unknown sense {s!r}; use 'min' or 'max'")
+
+
+def dominates(a: Sequence[float], b: Sequence[float],
+              senses: Sequence[str]) -> bool:
+    """Does metric tuple ``a`` Pareto-dominate ``b``?
+
+    Irreflexive by construction: equal tuples never dominate each other.
+    """
+    _check_senses(senses, len(a))
+    if len(a) != len(b):
+        raise ValueError(f"metric tuples differ in arity: "
+                         f"{len(a)} vs {len(b)}")
+    no_worse = True
+    strictly_better = False
+    for x, y, sense in zip(a, b, senses):
+        better, worse = (x < y, x > y) if sense == SENSE_MIN else \
+            (x > y, x < y)
+        if worse:
+            no_worse = False
+            break
+        if better:
+            strictly_better = True
+    return no_worse and strictly_better
+
+
+def pareto_frontier(points: Sequence[tuple[str, Sequence[float]]],
+                    senses: Sequence[str]) -> list[tuple[str, tuple]]:
+    """Non-dominated subset of ``(key, metrics)`` pairs, canonicalized.
+
+    Duplicate keys are collapsed first (last occurrence wins, though a
+    well-formed sweep never re-keys a point with different metrics), and
+    the surviving frontier is sorted by key — so the result is invariant
+    under permutation and duplication of the input.
+
+    Points whose metric tuples are *equal* do not dominate each other;
+    all of them survive (they are genuinely interchangeable designs, and
+    dropping an arbitrary one would make the frontier order-dependent).
+    """
+    by_key: dict[str, tuple] = {}
+    for key, metrics in points:
+        by_key[key] = tuple(metrics)
+    frontier = [
+        (key, metrics) for key, metrics in by_key.items()
+        if not any(dominates(other, metrics, senses)
+                   for other in by_key.values())
+    ]
+    return sorted(frontier, key=lambda item: item[0])

@@ -1,0 +1,221 @@
+"""Power and thermal model for the FPGA prototype.
+
+The paper reports resources and clock rate but not power; the thermal
+analysis of 3D associative processors by Yavits, Morad and Ginosar
+(arXiv:1307.3853) supplies the missing modeling discipline.  Their
+framework splits associative-processor power into a *static* (leakage)
+component proportional to implemented area and a *dynamic* component
+proportional to switched capacitance x activity x frequency, then maps
+total power through a package thermal resistance plus a power-density
+("hot spot") term to a junction temperature.  We instantiate the same
+structure on the 2D FPGA substrate:
+
+* **static power** scales with the logic elements and RAM blocks the
+  design actually occupies (leakage is per-transistor, so area is the
+  right proxy on an FPGA just as it is for the 3D AP's CAM array);
+* **dynamic power** is activity-weighted: the simulator's
+  :class:`~repro.core.stats.Stats` counters give exact per-class issue
+  rates (scalar ops exercise one W-bit datapath; parallel ops switch
+  *every* PE datapath plus its local-memory port, the direct analogue of
+  the AP's full-array compare/write phases that dominate Yavits et al.'s
+  energy budget; reduction ops switch the tree), and stall cycles charge
+  nothing but the always-on clock tree — the clock-gating assumption;
+* **temperature** rises over ambient by ``theta_ja x P`` (package
+  conduction) plus a power-density term modeling the local hot spot the
+  3D analysis warns about; Section 4 of the paper bounds the feasible
+  design space by exactly this junction-temperature ceiling, which is
+  what lets ``repro dse`` treat thermal headroom as a frontier axis.
+
+Coefficients are ballpark-calibrated to a 90 nm Cyclone II: tens of mW
+static for a mid-size design, clock-tree dominated dynamic floor, and a
+few pJ per datapath operation.  As with the resource model, the
+*structure* (what scales with PEs, width, tree depth, activity) carries
+the conclusions; the absolute numbers are anchors, not measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ProcessorConfig
+from repro.core.stats import Stats
+from repro.fpga.resource_model import PEOrganization, total_resources
+from repro.fpga.timing_model import fmax_mhz
+from repro.network.tree import tree_internal_nodes
+
+# -- calibrated coefficients ------------------------------------------------
+
+# Static (leakage) power per occupied resource, microwatts.
+_STATIC_UW_PER_LE = 2.4
+_STATIC_UW_PER_RAM_BLOCK = 95.0
+
+# Dynamic energy per event, picojoules (pJ x MHz = uW).
+_E_CLOCK_PJ_PER_LE = 0.012      # clock tree + sequential overhead, per cycle
+_E_SCALAR_PJ_PER_BIT = 2.0      # one CU datapath op
+_E_PE_PJ_BASE = 1.2             # per-PE control for one parallel op
+_E_PE_PJ_PER_BIT = 0.9          # per-PE datapath + lmem port, per bit
+_E_REDUCTION_PJ_PER_NODE = 3.5  # one reduction-tree node firing
+
+# Die-area proxy for the occupied region, square millimetres (90 nm).
+_MM2_PER_LE = 1.8e-3
+_MM2_PER_RAM_BLOCK = 0.023
+
+# Thermal path: package conduction + local power-density hot-spot term.
+THETA_JA_C_PER_W = 18.0         # junction-to-ambient, still air, FBGA
+_HOTSPOT_C_PER_MW_MM2 = 3.0     # density-driven local rise
+AMBIENT_C = 25.0
+TJ_MAX_C = 85.0                 # commercial-grade junction ceiling
+
+
+@dataclass(frozen=True)
+class ActivityProfile:
+    """Per-cycle issue rates driving the dynamic-power term.
+
+    Rates are events per machine cycle, exactly as
+    :class:`~repro.core.stats.Stats` counts them: ``parallel_rate`` of
+    0.25 means one full-array parallel operation every fourth cycle.
+    The all-zero profile models a configured but idle machine (clock
+    running, nothing issuing), for which dynamic power collapses to the
+    clock tree and total power is dominated by leakage.
+    """
+
+    scalar_rate: float = 0.0
+    parallel_rate: float = 0.0
+    reduction_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("scalar_rate", "parallel_rate", "reduction_rate"):
+            value = getattr(self, name)
+            if value < 0.0:
+                raise ValueError(f"{name} must be >= 0, got {value}")
+
+    @classmethod
+    def idle(cls) -> "ActivityProfile":
+        """Zero activity: clock ticking, no instructions issuing."""
+        return cls()
+
+    @classmethod
+    def from_stats(cls, stats: Stats) -> "ActivityProfile":
+        """Exact activity of a finished run (zero-cycle runs are idle)."""
+        if stats.cycles <= 0:
+            return cls.idle()
+        cycles = float(stats.cycles)
+        return cls(scalar_rate=stats.scalar_instructions / cycles,
+                   parallel_rate=stats.parallel_instructions / cycles,
+                   reduction_rate=stats.reduction_instructions / cycles)
+
+    @property
+    def is_idle(self) -> bool:
+        return (self.scalar_rate == 0.0 and self.parallel_rate == 0.0
+                and self.reduction_rate == 0.0)
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Power and thermal estimate for one configuration + activity."""
+
+    static_mw: float
+    clock_mw: float
+    scalar_mw: float
+    parallel_mw: float
+    reduction_mw: float
+    die_area_mm2: float
+    fmax_mhz: float
+
+    @property
+    def dynamic_mw(self) -> float:
+        return (self.clock_mw + self.scalar_mw + self.parallel_mw
+                + self.reduction_mw)
+
+    @property
+    def total_mw(self) -> float:
+        return self.static_mw + self.dynamic_mw
+
+    @property
+    def power_density_mw_mm2(self) -> float:
+        return self.total_mw / self.die_area_mm2 if self.die_area_mm2 else 0.0
+
+    @property
+    def temp_rise_c(self) -> float:
+        """Junction rise over ambient: conduction + hot-spot density."""
+        return (THETA_JA_C_PER_W * self.total_mw / 1000.0
+                + _HOTSPOT_C_PER_MW_MM2 * self.power_density_mw_mm2)
+
+    @property
+    def junction_c(self) -> float:
+        return AMBIENT_C + self.temp_rise_c
+
+    @property
+    def thermally_feasible(self) -> bool:
+        """Does the estimate respect the junction-temperature ceiling?"""
+        return self.junction_c <= TJ_MAX_C
+
+    def to_json(self) -> dict:
+        """Deterministic JSON-safe dict (fixed rounding, sorted use)."""
+        return {
+            "static_mw": round(self.static_mw, 3),
+            "dynamic_mw": round(self.dynamic_mw, 3),
+            "total_mw": round(self.total_mw, 3),
+            "breakdown_mw": {
+                "clock": round(self.clock_mw, 3),
+                "parallel": round(self.parallel_mw, 3),
+                "reduction": round(self.reduction_mw, 3),
+                "scalar": round(self.scalar_mw, 3),
+                "static": round(self.static_mw, 3),
+            },
+            "die_area_mm2": round(self.die_area_mm2, 3),
+            "power_density_mw_mm2": round(self.power_density_mw_mm2, 3),
+            "temp_rise_c": round(self.temp_rise_c, 2),
+            "junction_c": round(self.junction_c, 2),
+            "thermally_feasible": self.thermally_feasible,
+        }
+
+
+def power_report(cfg: ProcessorConfig,
+                 activity: ActivityProfile | None = None,
+                 org: PEOrganization = PEOrganization(),
+                 clock_mhz: float | None = None) -> PowerReport:
+    """Estimate power/thermals for ``cfg`` under an activity profile.
+
+    ``activity`` defaults to :meth:`ActivityProfile.idle`, for which the
+    report is static power plus the clock tree only (the zero-activity
+    identity the property tests pin down uses a zero clock as well).
+    ``clock_mhz`` defaults to the timing model's estimate for ``cfg``.
+    """
+    activity = activity if activity is not None else ActivityProfile.idle()
+    usage = total_resources(cfg, org)
+    f = clock_mhz if clock_mhz is not None else fmax_mhz(cfg)
+    if f < 0.0:
+        raise ValueError(f"clock_mhz must be >= 0, got {f}")
+
+    static_uw = (_STATIC_UW_PER_LE * usage.logic_elements
+                 + _STATIC_UW_PER_RAM_BLOCK * usage.ram_blocks)
+
+    clock_uw = f * _E_CLOCK_PJ_PER_LE * usage.logic_elements
+    scalar_uw = f * activity.scalar_rate * (
+        _E_SCALAR_PJ_PER_BIT * cfg.word_width)
+    parallel_uw = f * activity.parallel_rate * cfg.num_pes * (
+        _E_PE_PJ_BASE + _E_PE_PJ_PER_BIT * cfg.word_width)
+    red_nodes = tree_internal_nodes(cfg.num_pes, 2)
+    reduction_uw = f * activity.reduction_rate * (
+        _E_REDUCTION_PJ_PER_NODE * red_nodes)
+
+    area = (_MM2_PER_LE * usage.logic_elements
+            + _MM2_PER_RAM_BLOCK * usage.ram_blocks)
+    return PowerReport(
+        static_mw=static_uw / 1000.0,
+        clock_mw=clock_uw / 1000.0,
+        scalar_mw=scalar_uw / 1000.0,
+        parallel_mw=parallel_uw / 1000.0,
+        reduction_mw=reduction_uw / 1000.0,
+        die_area_mm2=area,
+        fmax_mhz=f,
+    )
+
+
+def power_from_stats(cfg: ProcessorConfig, stats: Stats,
+                     org: PEOrganization = PEOrganization(),
+                     clock_mhz: float | None = None) -> PowerReport:
+    """Convenience: activity-weighted power straight from run statistics."""
+    return power_report(cfg, ActivityProfile.from_stats(stats), org=org,
+                        clock_mhz=clock_mhz)

@@ -54,8 +54,10 @@ SHED_POLICIES = (SHED_REFUSE, SHED_OLDEST)
 DEFAULT_TENANT = "anon"
 
 #: Ops whose replies are pure functions of the request (given the job
-#: stream so far) — the ones ``repro replay`` byte-compares.
-DETERMINISTIC_OPS = ("batch", "ping", "run")
+#: stream so far) — the ones ``repro replay`` byte-compares.  ``dse``
+#: qualifies because its reply carries only the sweep's deterministic
+#: payload (the operational counters stay on the ``stats`` surface).
+DETERMINISTIC_OPS = ("batch", "dse", "ping", "run")
 
 #: Request latencies kept for the stats SLO section (a sliding window,
 #: so a long-lived service reports recent behaviour, not its lifetime).
@@ -222,6 +224,7 @@ class Dispatcher:
             "serve_request_seconds", "request handling latency, by op",
             labels=("op",))
         self.slo = SloTracker()
+        self._dse = None        # lazy DseRunner (instruments register once)
         self.requests = 0
         self.shed_jobs = 0
         self.shutdown = False
@@ -276,7 +279,7 @@ class Dispatcher:
             reply = {"ok": False,
                      "error": f"internal error: "
                               f"{type(exc).__name__}: {exc}"}
-        if op in ("run", "batch"):
+        if op in ("run", "batch", "dse"):
             elapsed = time.perf_counter() - started
             self.slo.observe(elapsed)
             self._latency.observe(elapsed, op=op)
@@ -301,7 +304,8 @@ class Dispatcher:
 
     def _dispatch(self, request: dict) -> dict:
         op = request.get("op")
-        known = op in ("ping", "stats", "health", "shutdown", "run", "batch")
+        known = op in ("ping", "stats", "health", "shutdown", "run",
+                       "batch", "dse")
         self._requests.inc(op=op if known else "unknown")
         if op == "ping":
             return {"ok": True, "pong": True}
@@ -317,7 +321,7 @@ class Dispatcher:
             self.shutdown = True
             return {"ok": True, "shutdown": True}
         tenant = self._tenant_of(request)
-        if op in ("run", "batch"):
+        if op in ("run", "batch", "dse"):
             self._tenant_requests.inc(tenant=tenant, op=op)
         if op == "run":
             return self._run_jobs([request.get("job")], single=True,
@@ -327,6 +331,8 @@ class Dispatcher:
             if not isinstance(jobs, list):
                 return {"ok": False, "error": "'jobs' must be a list"}
             return self._run_jobs(jobs, single=False, tenant=tenant)
+        if op == "dse":
+            return self._run_sweep(request.get("spec"), tenant=tenant)
         return {"ok": False, "error": f"unknown op {op!r}"}
 
     def _shard_section(self) -> dict:
@@ -418,6 +424,44 @@ class Dispatcher:
         payload["results"] = shed_replies + payload["results"]
         ok = report.ok and not shed_replies
         return {"ok": ok, "origins": origins, **payload}
+
+    def _run_sweep(self, spec_obj, tenant: str = DEFAULT_TENANT) -> dict:
+        """Handle one ``dse`` request: a sweep spec in, a frontier out.
+
+        The reply carries only the sweep's deterministic payload, so the
+        op can sit in :data:`DETERMINISTIC_OPS`; cache and timing
+        counters surface through ``stats`` like everything else.  A
+        sweep is admitted whole or not at all — shedding grid points
+        would silently bias the frontier.
+        """
+        from repro.dse import DseRunner, DseSpecError, SweepSpec
+
+        if not isinstance(spec_obj, dict):
+            return {"ok": False,
+                    "error": "'spec' must be a sweep object "
+                             "(see docs/DSE.md)"}
+        try:
+            spec = SweepSpec.from_json(spec_obj)
+        except DseSpecError as exc:
+            return {"ok": False, "error": str(exc)}
+        njobs = spec.num_points() * len(spec.kernels)
+        if self.governor is not None:
+            retry_after = self.governor.admit(tenant, njobs)
+            if retry_after > 0:
+                self._tenant_rejected.inc(tenant=tenant, reason="quota")
+                return {"ok": False,
+                        "error": f"quota exceeded for tenant {tenant!r}",
+                        "tenant": tenant,
+                        "retry_after_s": round(retry_after, 3)}
+        if njobs > self.max_pending:
+            self._tenant_rejected.inc(tenant=tenant, reason="overload")
+            return {"ok": False, "error": "overloaded",
+                    "max_pending": self.max_pending, "requested": njobs}
+        if self._dse is None:
+            self._dse = DseRunner(self.runner, registry=self.registry)
+        report = self._dse.sweep(spec)
+        self._tenant_jobs.inc(njobs, tenant=tenant)
+        return {"ok": report.ok, "sweep": report.to_json()}
 
 
 __all__ = [

@@ -30,6 +30,12 @@ assembled program (:mod:`repro.analysis.equiv`), executes the scheduled
 program only on a proof, and fails the job with the refutation report
 otherwise; the proof summary rides back in the snapshot's ``verify``
 section.
+``"kernel_args"`` passes keyword arguments through to the kernel
+builder (e.g. ``{"kernel": "vector_mac", "kernel_args": {"width": 8}}``
+builds the kernel on an 8-bit datapath); only valid with ``kernel``.
+The design-space sweeper uses this to carry its word-width axis into
+kernel programs.  The arguments shape the assembled program and the
+inherited config, so they are captured by the content key automatically.
 ``"backend": "fast"`` executes on the fast-path backend
 (:mod:`repro.assoc.fastpath`): functional execution plus compositional
 static timing, bit-identical counters at a fraction of the cost.
@@ -115,6 +121,7 @@ class Job:
     name: str
     source: str | None = None
     kernel: str | None = None
+    kernel_args: dict = field(default_factory=dict)
     config: ProcessorConfig = field(default_factory=ProcessorConfig)
     lmem: dict = field(default_factory=dict)
     max_cycles: int | None = None
@@ -128,6 +135,9 @@ class Job:
         if (self.source is None) == (self.kernel is None):
             raise JobError(
                 f"job {self.name!r}: exactly one of source/kernel required")
+        if self.kernel_args and self.kernel is None:
+            raise JobError(
+                f"job {self.name!r}: kernel_args requires a kernel job")
         if self.backend not in ("cycle", "fast"):
             raise JobError(
                 f"job {self.name!r}: backend must be 'cycle' or 'fast', "
@@ -149,9 +159,9 @@ class Job:
         """Parse one job object; ``file`` paths resolve against base_dir."""
         if not isinstance(obj, dict):
             raise JobError(f"job entry must be an object, got {type(obj).__name__}")
-        known = {"name", "source", "file", "kernel", "config", "lmem",
-                 "max_cycles", "fault", "sanitize", "profile", "verify",
-                 "backend"}
+        known = {"name", "source", "file", "kernel", "kernel_args", "config",
+                 "lmem", "max_cycles", "fault", "sanitize", "profile",
+                 "verify", "backend"}
         unknown = sorted(set(obj) - known)
         if unknown:
             raise JobError(f"unknown job field(s): {', '.join(unknown)}")
@@ -180,7 +190,12 @@ class Job:
                 raise JobError(f"bad fault spec: {exc}") from exc
         name = obj.get("name") or obj.get("kernel") or obj.get("file") \
             or "inline"
+        kernel_args = obj.get("kernel_args") or {}
+        if not isinstance(kernel_args, dict):
+            raise JobError("'kernel_args' must be an object of keyword "
+                           "arguments for the kernel builder")
         return cls(name=str(name), source=source, kernel=obj.get("kernel"),
+                   kernel_args={str(k): v for k, v in kernel_args.items()},
                    config=config_from_json(obj.get("config")),
                    lmem=lmem, max_cycles=obj.get("max_cycles"), fault=fault,
                    sanitize=bool(obj.get("sanitize", False)),
@@ -197,7 +212,13 @@ class Job:
                 raise JobError(
                     f"unknown kernel {self.kernel!r}; choose from "
                     f"{', '.join(sorted(ALL_KERNEL_BUILDERS))}")
-            kern = ALL_KERNEL_BUILDERS[self.kernel](cfg.num_pes)
+            try:
+                kern = ALL_KERNEL_BUILDERS[self.kernel](
+                    cfg.num_pes, **self.kernel_args)
+            except TypeError as exc:
+                raise JobError(
+                    f"job {self.name!r}: bad kernel_args for "
+                    f"{self.kernel!r}: {exc}") from exc
             cfg = dataclasses.replace(cfg, word_width=kern.word_width)
             source = kern.source
             for col, values in kern.lmem.items():

@@ -55,6 +55,70 @@ pe_values = st.lists(st.integers(0, (1 << 16) - 1), min_size=1, max_size=64)
 widths = st.sampled_from([8, 16, 32])
 
 
+# -- design-space exploration -------------------------------------------------
+
+#: Axis-value pools for sweep strategies.  Every cross-product of these
+#: values is a legal ProcessorConfig (thread counts stay well below the
+#: narrowest word's mask capacity), so specs drawn from them always
+#: expand — the spec-validation tests build their own illegal grids.
+SWEEP_AXIS_POOLS = {
+    "num_pes": (1, 2, 4, 8, 16),
+    "num_threads": (1, 2, 4),
+    "word_width": (8, 16, 32),
+    "broadcast_arity": (2, 4),
+    "lmem_words": (32, 64),
+}
+
+
+@st.composite
+def sweep_axes(draw, max_axes=3, max_values=3):
+    """Valid sweep-axis dicts: 1-`max_axes` axes, each with legal values."""
+    names = draw(st.lists(st.sampled_from(sorted(SWEEP_AXIS_POOLS)),
+                          min_size=1, max_size=max_axes, unique=True))
+    return {name: draw(st.lists(st.sampled_from(SWEEP_AXIS_POOLS[name]),
+                                min_size=1, max_size=max_values,
+                                unique=True))
+            for name in names}
+
+
+def metric_tuples(arity):
+    """Finite metric tuples of fixed arity.
+
+    NaN is excluded because Pareto dominance needs a total order per
+    axis; mixed ints and modest floats exercise comparison edge cases
+    (exact ties in particular).
+    """
+    value = st.one_of(
+        st.integers(-20, 20).map(float),
+        st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False,
+                  width=32))
+    return st.lists(value, min_size=arity, max_size=arity).map(tuple)
+
+
+def sense_lists(arity):
+    """Optimization-sense vectors matching ``metric_tuples(arity)``."""
+    return st.lists(st.sampled_from(["min", "max"]),
+                    min_size=arity, max_size=arity)
+
+
+@st.composite
+def keyed_metric_points(draw, arity, max_points=10):
+    """``(key, metrics)`` pair lists like the frontier consumes.
+
+    Keys are drawn from a small pool so duplicates occur; a duplicated
+    key always carries the same metrics (well-formed sweeps never re-key
+    a point with different numbers — and the frontier's canonical form
+    is only promised for well-formed inputs).
+    """
+    by_key = draw(st.dictionaries(
+        st.integers(0, 2 * max_points).map(lambda i: f"pt{i}"),
+        metric_tuples(arity), min_size=0, max_size=max_points))
+    items = [(k, by_key[k]) for k in by_key]
+    extra = draw(st.lists(st.sampled_from(sorted(by_key)), max_size=5)) \
+        if by_key else []
+    return items + [(k, by_key[k]) for k in extra]
+
+
 @st.composite
 def machine_configs(draw, max_pes=16):
     """Small but shape-diverse machine configurations.

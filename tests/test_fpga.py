@@ -5,12 +5,18 @@ from dataclasses import replace
 import pytest
 
 from repro.core import MTMode, ProcessorConfig
+from repro.core.stats import Stats
 from repro.fpga import (
     ALL_DEVICES,
+    AMBIENT_C,
     EP2C35,
     EP2C70,
     PAPER_TABLE1,
+    TJ_MAX_C,
+    ActivityProfile,
     PEOrganization,
+    power_from_stats,
+    power_report,
     broadcast_settle_ns,
     control_unit_resources,
     device_by_name,
@@ -202,3 +208,136 @@ class TestTimingModel:
 
     def test_fmax_dispatches_on_flags(self):
         assert fmax_mhz(PROTO) == pipelined_fmax_mhz(PROTO)
+
+
+class TestPowerModel:
+    """The activity-weighted power/thermal model (see fpga/power.py)."""
+
+    def test_zero_activity_zero_clock_is_static_only(self):
+        # The exact identity the DSE edge-case satellite pins: with no
+        # activity and the clock stopped, total power is leakage alone.
+        report = power_report(PROTO, clock_mhz=0.0)
+        assert report.dynamic_mw == 0.0
+        assert report.total_mw == report.static_mw
+
+    def test_idle_with_running_clock_is_static_plus_clock(self):
+        report = power_report(PROTO, ActivityProfile.idle())
+        assert report.scalar_mw == 0.0
+        assert report.parallel_mw == 0.0
+        assert report.reduction_mw == 0.0
+        assert report.clock_mw > 0.0
+        assert report.total_mw == report.static_mw + report.clock_mw
+
+    def test_activity_strictly_increases_power(self):
+        idle = power_report(PROTO)
+        busy = power_report(PROTO, ActivityProfile(
+            scalar_rate=0.2, parallel_rate=0.5, reduction_rate=0.1))
+        assert busy.total_mw > idle.total_mw
+        assert busy.static_mw == idle.static_mw   # leakage is area-only
+
+    def test_parallel_power_scales_with_pes(self):
+        activity = ActivityProfile(parallel_rate=0.5)
+        small = power_report(replace(PROTO, num_pes=8), activity)
+        large = power_report(replace(PROTO, num_pes=64), activity)
+        assert large.parallel_mw > 4 * small.parallel_mw
+
+    def test_static_power_scales_with_area(self):
+        small = power_report(replace(PROTO, num_pes=4))
+        large = power_report(replace(PROTO, num_pes=64))
+        assert large.static_mw > small.static_mw
+        assert large.die_area_mm2 > small.die_area_mm2
+
+    def test_from_stats_matches_manual_profile(self):
+        stats = Stats(cycles=100, scalar_instructions=20,
+                      parallel_instructions=50, reduction_instructions=10)
+        profile = ActivityProfile.from_stats(stats)
+        assert profile.scalar_rate == pytest.approx(0.2)
+        assert profile.parallel_rate == pytest.approx(0.5)
+        assert profile.reduction_rate == pytest.approx(0.1)
+        assert power_from_stats(PROTO, stats).to_json() == \
+            power_report(PROTO, profile).to_json()
+
+    def test_zero_cycle_stats_are_idle(self):
+        assert ActivityProfile.from_stats(Stats()).is_idle
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError, match="scalar_rate"):
+            ActivityProfile(scalar_rate=-0.1)
+
+    def test_negative_clock_rejected(self):
+        with pytest.raises(ValueError, match="clock_mhz"):
+            power_report(PROTO, clock_mhz=-1.0)
+
+    def test_thermal_model_orders_with_power(self):
+        idle = power_report(PROTO)
+        busy = power_report(replace(PROTO, num_pes=128), ActivityProfile(
+            parallel_rate=1.0))
+        assert busy.junction_c > idle.junction_c
+        assert idle.junction_c > AMBIENT_C
+        assert idle.thermally_feasible
+
+    def test_thermal_ceiling_binds_eventually(self):
+        # Crank a huge array at full tilt past the junction ceiling:
+        # thermal headroom is a real constraint, not a constant True.
+        monster = power_report(
+            replace(PROTO, num_pes=16384, word_width=32, num_threads=2,
+                    mt_mode=MTMode.FINE),
+            ActivityProfile(parallel_rate=1.0, scalar_rate=1.0,
+                            reduction_rate=1.0))
+        assert monster.junction_c > TJ_MAX_C
+        assert not monster.thermally_feasible
+
+    def test_json_shape_and_rounding(self):
+        payload = power_report(PROTO).to_json()
+        assert payload["total_mw"] == pytest.approx(
+            payload["static_mw"] + payload["dynamic_mw"], abs=2e-3)
+        assert set(payload["breakdown_mw"]) == {
+            "clock", "parallel", "reduction", "scalar", "static"}
+        assert payload["junction_c"] == round(
+            AMBIENT_C + payload["temp_rise_c"], 2)
+        assert isinstance(payload["thermally_feasible"], bool)
+
+
+class TestSweepExtremes:
+    """FPGA models under the smallest/largest legal configurations."""
+
+    SMALLEST = ProcessorConfig(num_pes=1, num_threads=1,
+                               mt_mode=MTMode.SINGLE, word_width=8,
+                               lmem_words=1, scalar_mem_words=1)
+    LARGEST = ProcessorConfig(num_pes=16384, num_threads=255,
+                              mt_mode=MTMode.FINE, word_width=8,
+                              broadcast_arity=16, lmem_words=8192)
+
+    @pytest.mark.parametrize("cfg", [SMALLEST, LARGEST],
+                             ids=["smallest", "largest"])
+    def test_models_stay_finite_and_positive(self, cfg):
+        usage = total_resources(cfg)
+        assert usage.logic_elements > 0
+        assert usage.ram_blocks > 0
+        assert fmax_mhz(cfg) > 0
+        report = power_report(cfg)
+        assert report.total_mw > 0
+        assert report.die_area_mm2 > 0
+        assert report.junction_c > AMBIENT_C
+
+    def test_smallest_config_fits_modern_devices(self):
+        # The control unit's fixed RAM footprint alone outgrows the
+        # 9-block FLEX 10K70 — the paper's motivation for moving to
+        # Cyclone-class parts; every other catalog device takes it.
+        for device in ALL_DEVICES:
+            expected = device.ram_blocks >= total_resources(
+                self.SMALLEST).ram_blocks
+            assert fits(self.SMALLEST, device) == expected
+        assert not fits(self.SMALLEST, device_by_name("FLEX 10K70"))
+        assert fits(self.SMALLEST, EP2C35)
+
+    def test_largest_config_fits_nowhere(self):
+        for device in ALL_DEVICES:
+            assert not fits(self.LARGEST, device)
+
+    def test_infeasible_point_is_reported_not_raised(self):
+        # The fitter answers False (and the sweep runner reports
+        # status "unfit"); no model call may crash on a too-big config.
+        assert fits(self.LARGEST, EP2C35) is False
+        result = max_pes(EP2C35, replace(self.LARGEST, num_pes=1))
+        assert 0 < result.max_pes < self.LARGEST.num_pes
